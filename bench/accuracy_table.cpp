@@ -1,0 +1,75 @@
+// Accuracy reproduction (paper Sec. IV-1): the relative log-likelihood
+// difference D = |lnL - lnL_hat| / |lnL| between the CodeML baseline and
+// SlimCodeML.
+//
+// Paper values: D = 0, 9.8e-12, 5.5e-8, 3e-9 (H0, datasets i-iv) and
+// D = 0, 0, 4.9e-8, 1.1e-8 (H1) after full optimization.
+//
+// Two flavors are reported here:
+//   (a) evaluation-level D: both engines evaluate lnL at the *same*
+//       parameter point — isolates the kernels' floating-point differences
+//       (the root cause of the paper's D values);
+//   (b) fit-level D on dataset i: both engines run the same capped
+//       optimization from the same start, like the paper's protocol.
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "lik/branch_site_likelihood.hpp"
+
+int main() {
+  using namespace slim;
+  const auto& gc = bio::GeneticCode::universal();
+
+  std::cout << "Accuracy (Sec. IV-1) — relative lnL difference D between "
+               "engines\n\n(a) evaluation-level D at a fixed parameter "
+               "point\n\n"
+            << std::left << std::setw(6) << "No." << std::setw(16)
+            << "D (H0)" << std::setw(16) << "D (H1)" << "lnL (Slim, H1)\n";
+
+  model::BranchSiteParams params = sim::defaultSimulationParams();
+  for (const auto& spec : sim::paperDatasetSpecs()) {
+    const auto ds = bench::paperDataset(spec.id);
+    const auto ca = seqio::encodeCodons(ds.alignment, gc);
+    const auto sp = seqio::compressPatterns(ca);
+    const auto pi =
+        model::estimateCodonFrequencies(ca, model::CodonFrequencyModel::F3x4);
+
+    double d[2], lnLSlimH1 = 0;
+    for (const auto h : {model::Hypothesis::H0, model::Hypothesis::H1}) {
+      lik::BranchSiteLikelihood base(ca, sp, pi, ds.tree, h,
+                                     lik::codemlBaselineOptions());
+      lik::BranchSiteLikelihood slim(ca, sp, pi, ds.tree, h,
+                                     lik::slimOptions());
+      const double lb = base.logLikelihood(params);
+      const double ls = slim.logLikelihood(params);
+      d[h == model::Hypothesis::H1] = std::fabs(lb - ls) / std::fabs(lb);
+      if (h == model::Hypothesis::H1) lnLSlimH1 = ls;
+    }
+    std::cout << std::left << std::setw(6) << spec.label << std::setw(16)
+              << std::scientific << std::setprecision(2) << d[0]
+              << std::setw(16) << d[1] << std::fixed << std::setprecision(4)
+              << lnLSlimH1 << '\n';
+  }
+
+  std::cout << "\n(b) fit-level D, dataset i, capped optimization from an "
+               "identical start\n\n";
+  const auto ds = bench::paperDataset(sim::PaperDatasetId::I);
+  const int cap = bench::scaledCap(6);
+  const auto base = bench::runEngine(ds, core::EngineKind::CodemlBaseline, cap);
+  const auto slim = bench::runEngine(ds, core::EngineKind::Slim, cap);
+  for (int h = 0; h < 2; ++h) {
+    const auto& b = h ? base.h1 : base.h0;
+    const auto& s = h ? slim.h1 : slim.h0;
+    std::cout << "  " << (h ? "H1" : "H0") << ": CodeML lnL = " << std::fixed
+              << std::setprecision(6) << b.lnL
+              << ", SlimCodeML lnL = " << s.lnL << ", D = " << std::scientific
+              << std::setprecision(2)
+              << std::fabs(b.lnL - s.lnL) / std::fabs(b.lnL) << '\n';
+  }
+  std::cout << "\nPaper shape: D between 0 and ~5e-8 — no difference in "
+               "biological interpretation.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+#pragma once
+// Shared machinery for the table/figure reproduction harnesses.
+//
+// Iteration budgets: the paper runs CodeML/SlimCodeML to convergence
+// (hundreds of optimizer iterations, up to 8.6 h per run).  These harnesses
+// cap iterations so the whole suite finishes in minutes; per-iteration
+// speedups are cap-invariant and overall speedups are reported at the cap
+// together with the iteration counts (mirroring Table III's columns).
+// Set SLIM_BENCH_SCALE=<float> to scale every cap (e.g. 4 for longer runs).
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "sim/datasets.hpp"
+
+namespace slim::bench {
+
+/// Iteration-cap multiplier from the environment (default 1.0).
+inline double benchScale() {
+  if (const char* env = std::getenv("SLIM_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline int scaledCap(int base) {
+  const int v = static_cast<int>(base * benchScale());
+  return v < 1 ? 1 : v;
+}
+
+/// One engine x hypothesis measurement.
+struct FitTiming {
+  double seconds = 0;
+  int iterations = 0;
+  double lnL = 0;
+  double secondsPerIteration() const {
+    return iterations > 0 ? seconds / iterations : seconds;
+  }
+};
+
+/// Timings of the H0 + H1 pair for one engine on one dataset.
+struct EnginePair {
+  FitTiming h0, h1;
+  double totalSeconds() const { return h0.seconds + h1.seconds; }
+  int totalIterations() const { return h0.iterations + h1.iterations; }
+};
+
+/// Run the full H0+H1 optimization for one engine on a dataset, with the
+/// paper's methodology: identical deterministic starting values for every
+/// engine (the paper fixes the RNG seed for start values).
+inline EnginePair runEngine(const sim::Dataset& ds, core::EngineKind engine,
+                            int iterationCap) {
+  const auto& gc = bio::GeneticCode::universal();
+  const auto ca = seqio::encodeCodons(ds.alignment, gc);
+
+  core::FitOptions options;
+  options.bfgs.maxIterations = iterationCap;
+
+  core::BranchSiteAnalysis analysis(ca, ds.tree, engine, options);
+  EnginePair out;
+  {
+    const auto fit = analysis.fit(model::Hypothesis::H0);
+    out.h0 = {fit.seconds, fit.iterations, fit.lnL};
+  }
+  {
+    const auto fit = analysis.fit(model::Hypothesis::H1);
+    out.h1 = {fit.seconds, fit.iterations, fit.lnL};
+  }
+  return out;
+}
+
+/// The fixed seeds used for the synthetic Table II datasets, so that every
+/// bench binary sees identical data.
+inline constexpr std::uint64_t kDatasetSeed = 20120521;  // IPDPSW'12 date
+
+inline sim::Dataset paperDataset(sim::PaperDatasetId id) {
+  return sim::makePaperDataset(id, kDatasetSeed);
+}
+
+/// Default iteration caps per dataset (before SLIM_BENCH_SCALE), sized so a
+/// full table run stays in the minutes range on one core.
+inline int defaultCap(sim::PaperDatasetId id) {
+  switch (id) {
+    case sim::PaperDatasetId::I: return 6;
+    case sim::PaperDatasetId::II: return 2;
+    case sim::PaperDatasetId::III: return 5;
+    case sim::PaperDatasetId::IV: return 2;
+  }
+  return 2;
+}
+
+}  // namespace slim::bench

@@ -1,0 +1,103 @@
+// Ablation C (DESIGN.md §5): naive (CodeML-style) vs optimized BLAS-subset
+// kernels across sizes around the codon dimension n = 61.
+//
+// This isolates the "use tuned kernels" component of the paper's speedup
+// (its rules of thumb: "Use BLAS...", "Exploit matrix properties...").
+
+#include <benchmark/benchmark.h>
+
+#include "linalg/blas2.hpp"
+#include "linalg/blas3.hpp"
+#include "test_support.hpp"
+
+namespace {
+
+using namespace slim;
+using linalg::Flavor;
+using linalg::Matrix;
+using linalg::Vector;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Flavor flavor = state.range(1) ? Flavor::Opt : Flavor::Naive;
+  const Matrix a = bench::randomMatrix(n, n, 1);
+  const Matrix b = bench::randomMatrix(n, n, 2);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::gemm(flavor, a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(linalg::flavorName(flavor));
+}
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Flavor flavor = state.range(1) ? Flavor::Opt : Flavor::Naive;
+  const Matrix a = bench::randomMatrix(n, n, 3);
+  const Matrix b = bench::randomMatrix(n, n, 4);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::gemmNT(flavor, a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(linalg::flavorName(flavor));
+}
+
+void BM_Syrk(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Flavor flavor = state.range(1) ? Flavor::Opt : Flavor::Naive;
+  const Matrix y = bench::randomMatrix(n, n, 5);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::syrk(flavor, y, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  // Effective flops of the full product; syrk-opt does half of this.
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(linalg::flavorName(flavor));
+}
+
+void BM_Gemv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Flavor flavor = state.range(1) ? Flavor::Opt : Flavor::Naive;
+  const Matrix a = bench::randomMatrix(n, n, 6);
+  const Vector x = bench::randomVector(n, 7);
+  Vector y(n);
+  for (auto _ : state) {
+    linalg::gemv(flavor, a, x.span(), y.span());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n);
+  state.SetLabel(linalg::flavorName(flavor));
+}
+
+void BM_Symv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Flavor flavor = state.range(1) ? Flavor::Opt : Flavor::Naive;
+  const Matrix a = bench::randomSymmetric(n, 8);
+  const Vector x = bench::randomVector(n, 9);
+  Vector y(n);
+  for (auto _ : state) {
+    linalg::symv(flavor, a, x.span(), y.span());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n);
+  state.SetLabel(linalg::flavorName(flavor));
+}
+
+void sizesAndFlavors(benchmark::internal::Benchmark* b) {
+  for (int n : {61, 122, 244})
+    for (int flavor : {0, 1}) b->Args({n, flavor});
+}
+
+BENCHMARK(BM_Gemm)->Apply(sizesAndFlavors);
+BENCHMARK(BM_GemmNT)->Apply(sizesAndFlavors);
+BENCHMARK(BM_Syrk)->Apply(sizesAndFlavors);
+BENCHMARK(BM_Gemv)->Apply(sizesAndFlavors);
+BENCHMARK(BM_Symv)->Apply(sizesAndFlavors);
+
+}  // namespace
+
+BENCHMARK_MAIN();

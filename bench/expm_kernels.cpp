@@ -1,0 +1,126 @@
+// Ablation A (DESIGN.md §5): the matrix-exponential kernels.
+//
+//   - Eq. 9 (gemm, ~2n^3) vs Eq. 10 (syrk, ~n^3) reconstruction, in both
+//     kernel flavors: the paper's central claim, "saves about half of the
+//     flops".
+//   - The symmetric eigendecomposition (once per omega class) and the Pade
+//     oracle, for context on where time goes.
+
+#include <benchmark/benchmark.h>
+
+#include "expm/codon_eigen_system.hpp"
+#include "expm/pade.hpp"
+#include "model/codon_model.hpp"
+#include "sim/evolver.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace slim;
+
+struct Setup {
+  std::vector<double> pi;
+  linalg::Matrix s;
+  expm::CodonEigenSystem es;
+
+  Setup()
+      : pi(makePi()),
+        s(makeS()),
+        es(s, pi) {}
+
+  static std::vector<double> makePi() {
+    sim::Rng rng(31);
+    return sim::randomCodonFrequencies(61, 5, rng);
+  }
+  static linalg::Matrix makeS() {
+    linalg::Matrix m(61, 61);
+    model::buildExchangeability(bio::GeneticCode::universal(), 2.0, 0.4, m);
+    return m;
+  }
+};
+
+Setup& setup() {
+  static Setup s;
+  return s;
+}
+
+void reconstruct(benchmark::State& state, expm::ReconstructionPath path,
+                 linalg::Flavor flavor) {
+  auto& s = setup();
+  expm::ExpmWorkspace ws;
+  linalg::Matrix p(61, 61);
+  double t = 0.01;
+  for (auto _ : state) {
+    s.es.transitionMatrix(t, path, flavor, ws, p);
+    benchmark::DoNotOptimize(p.data());
+    t += 1e-6;  // defeat any value caching
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Reconstruct_Gemm_Naive(benchmark::State& state) {
+  reconstruct(state, expm::ReconstructionPath::Gemm, linalg::Flavor::Naive);
+}
+void BM_Reconstruct_Gemm_Opt(benchmark::State& state) {
+  reconstruct(state, expm::ReconstructionPath::Gemm, linalg::Flavor::Opt);
+}
+void BM_Reconstruct_Syrk_Naive(benchmark::State& state) {
+  reconstruct(state, expm::ReconstructionPath::Syrk, linalg::Flavor::Naive);
+}
+void BM_Reconstruct_Syrk_Opt(benchmark::State& state) {
+  reconstruct(state, expm::ReconstructionPath::Syrk, linalg::Flavor::Opt);
+}
+BENCHMARK(BM_Reconstruct_Gemm_Naive);
+BENCHMARK(BM_Reconstruct_Gemm_Opt);
+BENCHMARK(BM_Reconstruct_Syrk_Naive);
+BENCHMARK(BM_Reconstruct_Syrk_Opt);
+
+void BM_SymmetricPropagator(benchmark::State& state) {
+  auto& s = setup();
+  expm::ExpmWorkspace ws;
+  linalg::Matrix m(61, 61);
+  double t = 0.01;
+  for (auto _ : state) {
+    s.es.symmetricPropagator(t, linalg::Flavor::Opt, ws, m);
+    benchmark::DoNotOptimize(m.data());
+    t += 1e-6;
+  }
+}
+BENCHMARK(BM_SymmetricPropagator);
+
+void BM_MakeYhat(benchmark::State& state) {
+  auto& s = setup();
+  linalg::Matrix yhat(61, 61);
+  double t = 0.01;
+  for (auto _ : state) {
+    s.es.makeYhat(t, yhat);
+    benchmark::DoNotOptimize(yhat.data());
+    t += 1e-6;
+  }
+}
+BENCHMARK(BM_MakeYhat);
+
+void BM_Eigendecomposition(benchmark::State& state) {
+  auto& s = setup();
+  for (auto _ : state) {
+    expm::CodonEigenSystem es(s.s, s.pi);
+    benchmark::DoNotOptimize(es.eigenvalues()[0]);
+  }
+}
+BENCHMARK(BM_Eigendecomposition);
+
+void BM_PadeOracle(benchmark::State& state) {
+  auto& s = setup();
+  linalg::Matrix q(61, 61);
+  model::buildRateMatrix(s.s, s.pi, q);
+  for (std::size_t k = 0; k < q.size(); ++k) q.data()[k] *= 0.3;
+  for (auto _ : state) {
+    auto p = expm::expmPade(q);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_PadeOracle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

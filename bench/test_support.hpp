@@ -1,0 +1,36 @@
+#pragma once
+// Deterministic random inputs for kernel benches (mirror of the helpers in
+// tests/test_util.hpp, duplicated so bench binaries do not depend on the
+// test tree).
+
+#include <random>
+
+#include "linalg/matrix.hpp"
+
+namespace slim::bench {
+
+inline linalg::Matrix randomMatrix(std::size_t rows, std::size_t cols,
+                                   unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  linalg::Matrix m(rows, cols);
+  for (std::size_t k = 0; k < m.size(); ++k) m.data()[k] = dist(gen);
+  return m;
+}
+
+inline linalg::Matrix randomSymmetric(std::size_t n, unsigned seed) {
+  linalg::Matrix m = randomMatrix(n, n, seed);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) m(i, j) = m(j, i);
+  return m;
+}
+
+inline linalg::Vector randomVector(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  linalg::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = dist(gen);
+  return v;
+}
+
+}  // namespace slim::bench

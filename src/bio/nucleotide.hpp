@@ -1,0 +1,47 @@
+#pragma once
+// Nucleotide alphabet, PAML convention: T=0, C=1, A=2, G=3.
+// The T,C,A,G ordering matters because the genetic-code table string and the
+// codon indexing (16*b1 + 4*b2 + b3) both assume it, matching PAML/CodeML.
+
+#include <cstdint>
+#include <optional>
+
+namespace slim::bio {
+
+enum class Nucleotide : std::uint8_t { T = 0, C = 1, A = 2, G = 3 };
+
+/// Upper-case character for a nucleotide.
+constexpr char nucleotideChar(Nucleotide n) noexcept {
+  constexpr char kChars[4] = {'T', 'C', 'A', 'G'};
+  return kChars[static_cast<int>(n)];
+}
+
+/// Parse one nucleotide character; accepts upper/lower case and U (RNA) as T.
+/// Returns nullopt for anything else (ambiguity codes, gaps, ...).
+constexpr std::optional<Nucleotide> nucleotideFromChar(char c) noexcept {
+  switch (c) {
+    case 'T': case 't': case 'U': case 'u': return Nucleotide::T;
+    case 'C': case 'c': return Nucleotide::C;
+    case 'A': case 'a': return Nucleotide::A;
+    case 'G': case 'g': return Nucleotide::G;
+    default: return std::nullopt;
+  }
+}
+
+constexpr bool isPurine(Nucleotide n) noexcept {
+  return n == Nucleotide::A || n == Nucleotide::G;
+}
+
+constexpr bool isPyrimidine(Nucleotide n) noexcept {
+  return n == Nucleotide::T || n == Nucleotide::C;
+}
+
+/// A substitution between two *distinct* nucleotides is a transition when it
+/// stays within purines (A<->G) or within pyrimidines (T<->C); otherwise it
+/// is a transversion.  (Eq. 1 of the paper weights transitions by kappa.)
+constexpr bool isTransition(Nucleotide a, Nucleotide b) noexcept {
+  return a != b && ((isPurine(a) && isPurine(b)) ||
+                    (isPyrimidine(a) && isPyrimidine(b)));
+}
+
+}  // namespace slim::bio

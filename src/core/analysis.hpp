@@ -1,0 +1,88 @@
+#pragma once
+// Top-level public API: fit branch-site model A under H0 and H1 by maximum
+// likelihood, perform the likelihood-ratio test for positive selection on
+// the marked foreground branch, and report per-site posterior probabilities
+// (the full CodeML branch-site workflow of paper Sec. I-A).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "lik/branch_site_likelihood.hpp"
+#include "model/branch_site.hpp"
+#include "model/frequencies.hpp"
+#include "opt/bfgs.hpp"
+#include "seqio/alignment.hpp"
+#include "stat/lrt.hpp"
+#include "tree/tree.hpp"
+
+namespace slim::core {
+
+struct FitOptions {
+  /// Equilibrium frequency estimator (Selectome/CodeML default: F3x4).
+  model::CodonFrequencyModel frequencyModel = model::CodonFrequencyModel::F3x4;
+  /// Optimizer controls; maxIterations is the paper's "iterations" column.
+  opt::BfgsOptions bfgs{};
+  /// Starting substitution parameters.
+  model::BranchSiteParams initialParams{};
+  /// When false, every branch starts at initialBranchLength instead of the
+  /// lengths carried by the input tree.
+  bool useTreeBranchLengths = true;
+  double initialBranchLength = 0.1;
+  /// Non-zero: multiplicatively jitter the starting parameter values with
+  /// this seed (CodeML's randomized initial values; the paper fixes the seed
+  /// "to generate comparable and reproducible results").
+  std::uint64_t startJitterSeed = 0;
+};
+
+struct FitResult {
+  model::Hypothesis hypothesis = model::Hypothesis::H0;
+  double lnL = 0;
+  model::BranchSiteParams params;
+  std::vector<double> branchLengths;  ///< Post-order branch order.
+  int iterations = 0;
+  long functionEvaluations = 0;
+  bool converged = false;
+  double seconds = 0;
+  lik::EvalCounters counters;
+};
+
+/// Output of the full H0-vs-H1 test.
+struct PositiveSelectionTest {
+  FitResult h0;
+  FitResult h1;
+  stat::LrtResult lrt;
+  /// NEB posteriors at the H1 maximum (meaningful when the LRT rejects H0).
+  lik::SiteClassPosteriors posteriors;
+  double totalSeconds = 0;
+};
+
+class BranchSiteAnalysis {
+ public:
+  /// The tree must carry exactly one #1 foreground mark; its leaf labels
+  /// must match the alignment sequence names.
+  BranchSiteAnalysis(const seqio::CodonAlignment& alignment,
+                     const tree::Tree& tree, EngineKind engine,
+                     FitOptions options = {});
+
+  /// Maximize ln L under one hypothesis.
+  FitResult fit(model::Hypothesis hypothesis);
+
+  /// Fit both hypotheses, run the LRT and the NEB site scan.
+  PositiveSelectionTest run();
+
+  const std::vector<double>& pi() const noexcept { return pi_; }
+  const seqio::SitePatterns& patterns() const noexcept { return patterns_; }
+  EngineKind engine() const noexcept { return engine_; }
+  const FitOptions& options() const noexcept { return options_; }
+
+ private:
+  seqio::CodonAlignment alignment_;
+  seqio::SitePatterns patterns_;
+  std::vector<double> pi_;
+  tree::Tree tree_;
+  EngineKind engine_;
+  FitOptions options_;
+};
+
+}  // namespace slim::core

@@ -1,0 +1,207 @@
+#include "core/config.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "support/require.hpp"
+
+namespace slim::core {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+[[noreturn]] void badLine(int lineNo, const std::string& what) {
+  throw std::invalid_argument("control file line " + std::to_string(lineNo) +
+                              ": " + what);
+}
+
+double parseDouble(const std::string& v, int lineNo) {
+  try {
+    std::size_t used = 0;
+    const double x = std::stod(v, &used);
+    if (trim(v.substr(used)).empty()) return x;
+  } catch (const std::exception&) {
+  }
+  badLine(lineNo, "expected a number, got '" + v + "'");
+}
+
+int parseInt(const std::string& v, int lineNo) {
+  const double x = parseDouble(v, lineNo);
+  const int i = static_cast<int>(x);
+  if (static_cast<double>(i) != x) badLine(lineNo, "expected an integer");
+  return i;
+}
+
+}  // namespace
+
+Config Config::parse(std::istream& in) {
+  Config cfg;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    // Strip comments ('*' like codeml, plus '#').
+    if (const auto pos = line.find_first_of("*#"); pos != std::string::npos)
+      line.erase(pos);
+    if (trim(line).empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) badLine(lineNo, "expected 'key = value'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty())
+      badLine(lineNo, "empty key or value");
+
+    if (key == "seqfile") {
+      cfg.seqfile = value;
+    } else if (key == "treefile") {
+      cfg.treefile = value;
+    } else if (key == "outfile") {
+      cfg.outfile = value;
+    } else if (key == "engine") {
+      if (value == "slim")
+        cfg.engine = EngineKind::Slim;
+      else if (value == "codeml")
+        cfg.engine = EngineKind::CodemlBaseline;
+      else
+        badLine(lineNo, "engine must be 'slim' or 'codeml'");
+    } else if (key == "model") {
+      if (value == "branch-site")
+        cfg.analysis = AnalysisKind::BranchSite;
+      else if (value == "site")
+        cfg.analysis = AnalysisKind::Site;
+      else
+        badLine(lineNo, "model must be 'branch-site' or 'site'");
+    } else if (key == "CodonFreq") {
+      const int f = parseInt(value, lineNo);
+      switch (f) {
+        case 0: cfg.fit.frequencyModel = model::CodonFrequencyModel::Equal; break;
+        case 1: cfg.fit.frequencyModel = model::CodonFrequencyModel::F1x4; break;
+        case 2: cfg.fit.frequencyModel = model::CodonFrequencyModel::F3x4; break;
+        case 3: cfg.fit.frequencyModel = model::CodonFrequencyModel::F61; break;
+        default: badLine(lineNo, "CodonFreq must be 0..3");
+      }
+    } else if (key == "maxIterations") {
+      cfg.fit.bfgs.maxIterations = parseInt(value, lineNo);
+      if (cfg.fit.bfgs.maxIterations < 0) badLine(lineNo, "negative cap");
+    } else if (key == "kappa") {
+      cfg.fit.initialParams.kappa = parseDouble(value, lineNo);
+    } else if (key == "omega0") {
+      cfg.fit.initialParams.omega0 = parseDouble(value, lineNo);
+    } else if (key == "omega2") {
+      cfg.fit.initialParams.omega2 = parseDouble(value, lineNo);
+    } else if (key == "p0") {
+      cfg.fit.initialParams.p0 = parseDouble(value, lineNo);
+    } else if (key == "p1") {
+      cfg.fit.initialParams.p1 = parseDouble(value, lineNo);
+    } else if (key == "cleandata") {
+      cfg.stopCodonsAsMissing = parseInt(value, lineNo) != 0;
+    } else if (key == "seed") {
+      cfg.fit.startJitterSeed =
+          static_cast<std::uint64_t>(parseDouble(value, lineNo));
+    } else {
+      badLine(lineNo, "unknown key '" + key + "'");
+    }
+  }
+  SLIM_REQUIRE(!cfg.seqfile.empty(), "control file: seqfile is required");
+  SLIM_REQUIRE(!cfg.treefile.empty(), "control file: treefile is required");
+  return cfg;
+}
+
+Config Config::parseString(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return parse(in);
+}
+
+Config Config::parseFile(const std::string& path) {
+  std::ifstream in(path);
+  SLIM_REQUIRE(in.good(), "cannot open control file '" + path + "'");
+  return parse(in);
+}
+
+namespace {
+
+struct LoadedInputs {
+  seqio::CodonAlignment codons;
+  tree::Tree tree;
+};
+
+LoadedInputs loadInputs(const Config& config) {
+  std::ifstream seqIn(config.seqfile);
+  SLIM_REQUIRE(seqIn.good(),
+               "cannot open sequence file '" + config.seqfile + "'");
+  // FASTA if the first non-blank character is '>', else sequential PHYLIP.
+  char first = 0;
+  seqIn >> std::ws;
+  seqIn.get(first);
+  seqIn.unget();
+  const auto aln = (first == '>') ? seqio::Alignment::readFasta(seqIn)
+                                  : seqio::Alignment::readPhylip(seqIn);
+  LoadedInputs in;
+  in.codons = seqio::encodeCodons(aln, bio::GeneticCode::universal(),
+                                  config.stopCodonsAsMissing);
+
+  std::ifstream treeIn(config.treefile);
+  SLIM_REQUIRE(treeIn.good(),
+               "cannot open tree file '" + config.treefile + "'");
+  std::stringstream treeText;
+  treeText << treeIn.rdbuf();
+  in.tree = tree::Tree::parseNewick(treeText.str());
+  return in;
+}
+
+template <class WriteReport>
+void emitReport(const Config& config, const WriteReport& write) {
+  if (config.outfile.empty() || config.outfile == "-") {
+    write(std::cout);
+  } else {
+    std::ofstream out(config.outfile);
+    SLIM_REQUIRE(out.good(),
+                 "cannot open output file '" + config.outfile + "'");
+    write(out);
+  }
+}
+
+}  // namespace
+
+PositiveSelectionTest runFromConfig(const Config& config) {
+  SLIM_REQUIRE(config.analysis == AnalysisKind::BranchSite,
+               "runFromConfig: control file requests 'model = site'");
+  const auto in = loadInputs(config);
+  BranchSiteAnalysis analysis(in.codons, in.tree, config.engine, config.fit);
+  const auto test = analysis.run();
+  emitReport(config,
+             [&](std::ostream& os) { writeTestReport(os, test, config.engine); });
+  return test;
+}
+
+SiteModelTest runSiteModelFromConfig(const Config& config) {
+  SLIM_REQUIRE(config.analysis == AnalysisKind::Site,
+               "runSiteModelFromConfig: control file requests branch-site");
+  const auto in = loadInputs(config);
+  SiteModelFitOptions options;
+  options.frequencyModel = config.fit.frequencyModel;
+  options.bfgs = config.fit.bfgs;
+  options.initialParams.kappa = config.fit.initialParams.kappa;
+  options.initialParams.omega0 = config.fit.initialParams.omega0;
+  options.initialParams.omega2 = config.fit.initialParams.omega2;
+  options.initialParams.p0 = config.fit.initialParams.p0;
+  options.initialParams.p1 = config.fit.initialParams.p1;
+  SiteModelAnalysis analysis(in.codons, in.tree, config.engine, options);
+  const auto test = analysis.run();
+  emitReport(config, [&](std::ostream& os) {
+    writeSiteModelReport(os, test, config.engine);
+  });
+  return test;
+}
+
+}  // namespace slim::core

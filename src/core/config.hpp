@@ -1,0 +1,62 @@
+#pragma once
+// CodeML-style control files.
+//
+// CodeML is driven by a "ctl" file of `key = value` lines ('*' starts a
+// comment), pointing at a sequence file and a tree file and selecting model
+// options.  This module provides the same workflow for slimcodeml so the
+// tool is drivable without writing C++ (see tools/slimcodeml_main.cpp):
+//
+//     seqfile  = gene.fasta        * FASTA or sequential PHYLIP
+//     treefile = gene.nwk          * Newick with one #1 foreground mark
+//     outfile  = results.txt       * '-' or empty: stdout
+//     engine   = slim              * slim | codeml
+//     CodonFreq = 2                * 0 equal, 1 F1x4, 2 F3x4, 3 F61
+//     maxIterations = 200
+//     kappa = 2.0                  * initial values
+//     omega0 = 0.1
+//     omega2 = 2.0
+//     p0 = 0.45
+//     p1 = 0.45
+//     cleandata = 0                * 1: treat stop codons as missing
+
+#include <iosfwd>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/site_models.hpp"
+
+namespace slim::core {
+
+/// Which test the control file requests.
+enum class AnalysisKind {
+  BranchSite,  ///< model A, H0 vs H1 on the #1 branch (`model = branch-site`)
+  Site,        ///< M1a vs M2a across all branches (`model = site`)
+};
+
+/// Parsed control file.
+struct Config {
+  std::string seqfile;
+  std::string treefile;
+  std::string outfile;  ///< Empty or "-" writes to stdout.
+  EngineKind engine = EngineKind::Slim;
+  AnalysisKind analysis = AnalysisKind::BranchSite;
+  FitOptions fit;
+  bool stopCodonsAsMissing = false;
+
+  /// Parse `key = value` text.  Unknown keys and malformed lines throw
+  /// std::invalid_argument with a line number.
+  static Config parse(std::istream& in);
+  static Config parseString(std::string_view text);
+  static Config parseFile(const std::string& path);
+};
+
+/// Load the alignment (FASTA when the first non-blank char is '>', else
+/// sequential PHYLIP) and tree named by the config, run the full H0/H1
+/// branch-site test, and return the result; writes the text report to
+/// config.outfile.  Requires analysis == BranchSite.
+PositiveSelectionTest runFromConfig(const Config& config);
+
+/// Same, for `model = site`: the M1a-vs-M2a test (no #1 mark needed).
+SiteModelTest runSiteModelFromConfig(const Config& config);
+
+}  // namespace slim::core

@@ -1,0 +1,24 @@
+#pragma once
+// Engine presets: the two systems compared throughout the paper's
+// evaluation.  Both run the same parser, tree, optimizer and pruning
+// machinery; they differ exactly in the likelihood-kernel options.
+
+#include "lik/options.hpp"
+
+namespace slim::core {
+
+enum class EngineKind {
+  CodemlBaseline,  ///< CodeML v4.4c stand-in (naive kernels, Eq. 9, per-site gemv).
+  Slim,            ///< SlimCodeML (opt kernels, Eq. 10 syrk, bundled BLAS-3).
+};
+
+constexpr const char* engineName(EngineKind e) noexcept {
+  return e == EngineKind::CodemlBaseline ? "CodeML" : "SlimCodeML";
+}
+
+constexpr lik::LikelihoodOptions engineOptions(EngineKind e) noexcept {
+  return e == EngineKind::CodemlBaseline ? lik::codemlBaselineOptions()
+                                         : lik::slimOptions();
+}
+
+}  // namespace slim::core

@@ -1,0 +1,101 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace slim::core {
+
+void writeFitReport(std::ostream& os, const FitResult& fit) {
+  os << "  " << model::hypothesisName(fit.hypothesis)
+     << ": lnL = " << std::fixed << std::setprecision(6) << fit.lnL
+     << std::defaultfloat << '\n'
+     << "    kappa  = " << fit.params.kappa << '\n'
+     << "    omega0 = " << fit.params.omega0 << '\n';
+  if (fit.hypothesis == model::Hypothesis::H1)
+    os << "    omega2 = " << fit.params.omega2 << '\n';
+  os << "    p0 = " << fit.params.p0 << ", p1 = " << fit.params.p1 << '\n'
+     << "    iterations = " << fit.iterations
+     << ", function evaluations = " << fit.functionEvaluations
+     << (fit.converged ? " (converged)" : " (iteration cap reached)") << '\n'
+     << "    wall time = " << std::setprecision(3) << fit.seconds << " s\n";
+}
+
+void writeTestReport(std::ostream& os, const PositiveSelectionTest& test,
+                     EngineKind engine, double siteThreshold) {
+  os << "Branch-site test for positive selection (" << engineName(engine)
+     << " engine)\n";
+  writeFitReport(os, test.h0);
+  writeFitReport(os, test.h1);
+  os << "  LRT: 2*dlnL = " << std::setprecision(6) << test.lrt.statistic
+     << ", p(chi2_1) = " << test.lrt.pChi2
+     << ", p(mixture) = " << test.lrt.pMixture << '\n';
+  if (test.lrt.significantAt(0.05))
+    os << "  => positive selection DETECTED on the foreground branch (5% level)\n";
+  else
+    os << "  => no significant evidence of positive selection (5% level)\n";
+
+  os << "  Sites with posterior P(positive selection) > " << siteThreshold
+     << " (NEB):\n";
+  bool any = false;
+  const auto& bySite = test.posteriors.positiveSelectionBySite;
+  for (std::size_t i = 0; i < bySite.size(); ++i) {
+    if (bySite[i] > siteThreshold) {
+      os << "    site " << (i + 1) << "  P = " << std::setprecision(4)
+         << bySite[i] << '\n';
+      any = true;
+    }
+  }
+  if (!any) os << "    (none)\n";
+}
+
+std::string testReportString(const PositiveSelectionTest& test,
+                             EngineKind engine, double siteThreshold) {
+  std::ostringstream os;
+  writeTestReport(os, test, engine, siteThreshold);
+  return os.str();
+}
+
+namespace {
+
+void writeSiteFit(std::ostream& os, const SiteModelFitResult& fit) {
+  os << "  " << siteModelName(fit.model) << ": lnL = " << std::fixed
+     << std::setprecision(6) << fit.lnL << std::defaultfloat << '\n'
+     << "    kappa  = " << fit.params.kappa << '\n'
+     << "    omega0 = " << fit.params.omega0 << '\n';
+  if (fit.model == SiteModel::M2a)
+    os << "    omega2 = " << fit.params.omega2 << '\n';
+  os << "    p0 = " << fit.params.p0 << ", p1 = " << fit.params.p1 << '\n'
+     << "    iterations = " << fit.iterations
+     << (fit.converged ? " (converged)" : " (iteration cap reached)") << '\n';
+}
+
+}  // namespace
+
+void writeSiteModelReport(std::ostream& os, const SiteModelTest& test,
+                          EngineKind engine, double siteThreshold) {
+  os << "Site-model test for positive selection, M1a vs M2a ("
+     << engineName(engine) << " engine)\n";
+  writeSiteFit(os, test.m1a);
+  writeSiteFit(os, test.m2a);
+  os << "  LRT: 2*dlnL = " << std::setprecision(6) << test.lrt.statistic
+     << ", p(chi2_2) = " << test.lrt.pChi2 << '\n';
+  if (test.lrt.significantAt(0.05))
+    os << "  => positive selection DETECTED across the gene (5% level)\n";
+  else
+    os << "  => no significant evidence of positive selection (5% level)\n";
+  os << "  Sites with posterior P(omega2 class) > " << siteThreshold
+     << " (NEB):\n";
+  bool any = false;
+  for (std::size_t i = 0; i < test.posteriors.positiveSelectionBySite.size();
+       ++i) {
+    if (test.posteriors.positiveSelectionBySite[i] > siteThreshold) {
+      os << "    site " << (i + 1) << "  P = " << std::setprecision(4)
+         << test.posteriors.positiveSelectionBySite[i] << '\n';
+      any = true;
+    }
+  }
+  if (!any) os << "    (none)\n";
+}
+
+}  // namespace slim::core

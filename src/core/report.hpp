@@ -1,0 +1,30 @@
+#pragma once
+// Human-readable result reports (what a CodeML user reads from the main
+// output file): parameter estimates, LRT verdict, and the list of sites
+// with high posterior probability of positive selection.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/site_models.hpp"
+
+namespace slim::core {
+
+/// Write a one-hypothesis fit summary.
+void writeFitReport(std::ostream& os, const FitResult& fit);
+
+/// Write the full test report: both fits, the LRT, and sites whose
+/// posterior probability of positive selection exceeds siteThreshold.
+void writeTestReport(std::ostream& os, const PositiveSelectionTest& test,
+                     EngineKind engine, double siteThreshold = 0.95);
+
+/// Convenience: the full test report as a string.
+std::string testReportString(const PositiveSelectionTest& test,
+                             EngineKind engine, double siteThreshold = 0.95);
+
+/// Write the M1a-vs-M2a site-model test report (df = 2 LRT, NEB sites).
+void writeSiteModelReport(std::ostream& os, const SiteModelTest& test,
+                          EngineKind engine, double siteThreshold = 0.95);
+
+}  // namespace slim::core

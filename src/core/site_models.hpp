@@ -1,0 +1,81 @@
+#pragma once
+// Site-model analyses: M1a ("nearly neutral") vs M2a ("positive selection"),
+// the classic *site* test for positive selection (df = 2 LRT).  This is the
+// first of the "further maximum likelihood-based evolutionary models" the
+// paper's conclusion says the optimized likelihood computation applies to:
+// both models run through the same two engines as the branch-site test.
+//
+// Unlike the branch-site test, the site test asks whether *some sites* of
+// the gene evolve under positive selection on *all* branches; no foreground
+// branch is involved.
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "lik/branch_site_likelihood.hpp"
+#include "model/frequencies.hpp"
+#include "model/site_mixture.hpp"
+#include "opt/bfgs.hpp"
+#include "seqio/alignment.hpp"
+#include "stat/lrt.hpp"
+#include "tree/tree.hpp"
+
+namespace slim::core {
+
+enum class SiteModel { M1a, M2a };
+
+constexpr const char* siteModelName(SiteModel m) noexcept {
+  return m == SiteModel::M1a ? "M1a" : "M2a";
+}
+
+struct SiteModelFitOptions {
+  model::CodonFrequencyModel frequencyModel = model::CodonFrequencyModel::F3x4;
+  opt::BfgsOptions bfgs{};
+  model::SiteModelParams initialParams{};
+};
+
+struct SiteModelFitResult {
+  SiteModel model = SiteModel::M1a;
+  double lnL = 0;
+  model::SiteModelParams params;
+  std::vector<double> branchLengths;
+  int iterations = 0;
+  long functionEvaluations = 0;
+  bool converged = false;
+  double seconds = 0;
+};
+
+/// Output of the full M1a-vs-M2a test.
+struct SiteModelTest {
+  SiteModelFitResult m1a;
+  SiteModelFitResult m2a;
+  stat::LrtResult lrt;  ///< df = 2
+  /// NEB posteriors at the M2a maximum (positive class = omega2).
+  lik::SiteClassPosteriors posteriors;
+};
+
+class SiteModelAnalysis {
+ public:
+  /// The tree needs no foreground mark (site models are branch-
+  /// homogeneous); any present mark is ignored.
+  SiteModelAnalysis(const seqio::CodonAlignment& alignment,
+                    const tree::Tree& tree, EngineKind engine,
+                    SiteModelFitOptions options = {});
+
+  SiteModelFitResult fit(SiteModel model);
+
+  /// Fit both models, run the df-2 LRT and the NEB site scan.
+  SiteModelTest run();
+
+  const std::vector<double>& pi() const noexcept { return pi_; }
+
+ private:
+  seqio::CodonAlignment alignment_;
+  seqio::SitePatterns patterns_;
+  std::vector<double> pi_;
+  tree::Tree tree_;
+  EngineKind engine_;
+  SiteModelFitOptions options_;
+};
+
+}  // namespace slim::core

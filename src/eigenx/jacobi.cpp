@@ -1,0 +1,100 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "eigenx/sym_eigen.hpp"
+#include "support/require.hpp"
+
+namespace slim::eigenx {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// Cyclic Jacobi: repeatedly annihilate the largest-magnitude off-diagonal
+// entries with Givens rotations until the off-diagonal Frobenius norm is
+// negligible.  Quadratically convergent; used only as an independent oracle.
+SymEigenResult symEigenJacobi(const Matrix& aIn, int maxSweeps) {
+  SLIM_REQUIRE(aIn.square(), "symEigenJacobi: matrix must be square");
+  const std::size_t n = aIn.rows();
+
+  Matrix a = aIn;
+  // Symmetrize from the lower triangle (same contract as symEigen).
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) a(i, j) = a(j, i);
+
+  Matrix v = Matrix::identity(n);
+
+  auto offNorm = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += a(i, j) * a(i, j);
+    return std::sqrt(2.0 * s);
+  };
+
+  double frob = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) frob += a.data()[k] * a.data()[k];
+  frob = std::sqrt(frob);
+  const double tol = 1e-15 * std::max(frob, 1.0);
+
+  for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+    if (offNorm() <= tol) break;
+    for (std::size_t p = 0; p + 1 < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        // t = sign(theta) / (|theta| + sqrt(theta^2 + 1)): smaller root,
+        // numerically stable for large |theta|.
+        double t;
+        if (std::fabs(theta) > 1e150) {
+          t = 1.0 / (2.0 * theta);
+        } else {
+          t = 1.0 / (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+          if (theta < 0) t = -t;
+        }
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        const double tau = s / (1.0 + c);
+
+        const double app = a(p, p), aqq = a(q, q);
+        a(p, p) = app - t * apq;
+        a(q, q) = aqq + t * apq;
+        a(p, q) = 0.0;
+        a(q, p) = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+          if (k == p || k == q) continue;
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = akp - s * (akq + tau * akp);
+          a(p, k) = a(k, p);
+          a(k, q) = akq + s * (akp - tau * akq);
+          a(q, k) = a(k, q);
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = vkp - s * (vkq + tau * vkp);
+          v(k, q) = vkq + s * (vkp - tau * vkq);
+        }
+      }
+  }
+  if (offNorm() > 1e-8 * std::max(frob, 1.0))
+    throw std::runtime_error("symEigenJacobi: did not converge");
+
+  SymEigenResult r;
+  r.values = Vector(n);
+  for (std::size_t i = 0; i < n; ++i) r.values[i] = a(i, i);
+  r.vectors = std::move(v);
+
+  // Sort ascending, carrying vectors.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    std::size_t k = i;
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (r.values[j] < r.values[k]) k = j;
+    if (k != i) {
+      std::swap(r.values[i], r.values[k]);
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(r.vectors(j, i), r.vectors(j, k));
+    }
+  }
+  return r;
+}
+
+}  // namespace slim::eigenx

@@ -1,0 +1,135 @@
+#include "expm/codon_eigen_system.hpp"
+
+#include <cmath>
+
+#include "linalg/diag.hpp"
+#include "support/require.hpp"
+
+namespace slim::expm {
+
+using linalg::Flavor;
+using linalg::Matrix;
+
+CodonEigenSystem::CodonEigenSystem(const Matrix& s, std::span<const double> pi) {
+  const std::size_t n = s.rows();
+  SLIM_REQUIRE(s.square() && n > 0, "exchangeability matrix must be square");
+  SLIM_REQUIRE(pi.size() == n, "pi has wrong length");
+
+  pi_.assign(pi.begin(), pi.end());
+  sqrtPi_.resize(n);
+  invSqrtPi_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SLIM_REQUIRE(pi_[i] > 0, "pi must be strictly positive (Eq. 2 requires Pi^{1/2})");
+    sqrtPi_[i] = std::sqrt(pi_[i]);
+    invSqrtPi_[i] = 1.0 / sqrtPi_[i];
+  }
+
+  // Step 1 (Eq. 2): A = Pi^{1/2} S Pi^{1/2}, where the diagonal of S is
+  // fixed up from the generator constraint (rows of Q = S Pi sum to zero):
+  //   s_ii = -(sum_{j != i} s_ij pi_j) / pi_i
+  //   => a_ii = pi_i s_ii = -sum_{j != i} s_ij pi_j.
+  // Any diagonal present in the input s is ignored.
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double rowRate = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      a(i, j) = sqrtPi_[i] * s(i, j) * sqrtPi_[j];
+      rowRate += s(i, j) * pi_[j];
+    }
+    a(i, i) = -rowRate;
+  }
+
+  // Step 2: symmetric eigendecomposition (the well-conditioned problem).
+  eig_ = eigenx::symEigen(a);
+
+  // A is similar to the generator Q, whose spectrum is non-positive; any
+  // positive eigenvalue is pure roundoff (~1e-14) and is clamped so that
+  // exp(lambda * t) can never diverge for large branch lengths.
+  for (std::size_t i = 0; i < n; ++i)
+    if (eig_.values[i] > 0.0) eig_.values[i] = 0.0;
+}
+
+void CodonEigenSystem::transitionMatrix(double t, ReconstructionPath path,
+                                        Flavor flavor, ExpmWorkspace& ws,
+                                        Matrix& p) const {
+  const std::size_t nn = n();
+  SLIM_REQUIRE(t >= 0, "branch length must be non-negative");
+  SLIM_REQUIRE(p.rows() == nn && p.square(), "output shape mismatch");
+  if (ws.y.rows() != nn) ws.y.resize(nn, nn);
+  if (ws.z.rows() != nn || ws.z.cols() != nn) ws.z.resize(nn, nn);
+  if (ws.expDiag.size() != nn) ws.expDiag.assign(nn, 0.0);
+
+  if (path == ReconstructionPath::Syrk) {
+    // Step 3: Y = X e^{Lambda t/2}; Step 4: Z = Y Y^T (Eq. 10, ~n^3 flops).
+    for (std::size_t i = 0; i < nn; ++i)
+      ws.expDiag[i] = std::exp(0.5 * eig_.values[i] * t);
+    linalg::scaleCols(eig_.vectors, ws.expDiag.span(), ws.y);
+    linalg::syrk(flavor, ws.y, ws.z);
+  } else {
+    // Eq. 9: Z = (X e^{Lambda t}) X^T, general product, ~2n^3 flops.
+    for (std::size_t i = 0; i < nn; ++i)
+      ws.expDiag[i] = std::exp(eig_.values[i] * t);
+    linalg::scaleCols(eig_.vectors, ws.expDiag.span(), ws.y);
+    linalg::gemmNT(flavor, ws.y, eig_.vectors, ws.z);
+  }
+
+  // Step 5 (Eq. 5): P = Pi^{-1/2} Z Pi^{1/2}; clamp roundoff negatives.
+  linalg::scaleSandwich(ws.z, invSqrtPi_, sqrtPi_, p);
+  for (std::size_t k = 0; k < p.size(); ++k)
+    if (p.data()[k] < 0.0) p.data()[k] = 0.0;
+}
+
+void CodonEigenSystem::symmetricPropagator(double t, Flavor flavor,
+                                           ExpmWorkspace& ws, Matrix& m) const {
+  const std::size_t nn = n();
+  SLIM_REQUIRE(t >= 0, "branch length must be non-negative");
+  SLIM_REQUIRE(m.rows() == nn && m.square(), "output shape mismatch");
+  if (ws.y.rows() != nn) ws.y.resize(nn, nn);
+  makeYhat(t, ws.y);
+  // M = Yhat Yhat^T is symmetric; e^{Qt} w = M (Pi w)  (Eq. 12).
+  linalg::syrk(flavor, ws.y, m);
+}
+
+void CodonEigenSystem::makeYhat(double t, Matrix& yhat) const {
+  const std::size_t nn = n();
+  SLIM_REQUIRE(t >= 0, "branch length must be non-negative");
+  SLIM_REQUIRE(yhat.rows() == nn && yhat.square(), "output shape mismatch");
+  // Yhat = Pi^{-1/2} X e^{Lambda t/2}  (Eq. 13); the exponential depends
+  // only on the column, so hoist it out of the O(n^2) loop.
+  std::vector<double> expHalf(nn);
+  for (std::size_t j = 0; j < nn; ++j)
+    expHalf[j] = std::exp(0.5 * eig_.values[j] * t);
+  for (std::size_t i = 0; i < nn; ++i) {
+    const double li = invSqrtPi_[i];
+    for (std::size_t j = 0; j < nn; ++j)
+      yhat(i, j) = li * eig_.vectors(i, j) * expHalf[j];
+  }
+}
+
+void CodonEigenSystem::applyExp(double t, const Matrix& w, Flavor flavor,
+                                ExpmWorkspace& ws, Matrix& out) const {
+  const std::size_t nn = n();
+  const std::size_t m = w.cols();
+  SLIM_REQUIRE(w.rows() == nn, "applyExp: input rows mismatch");
+  SLIM_REQUIRE(out.rows() == nn && out.cols() == m, "applyExp: output shape");
+  if (ws.y.rows() != nn) ws.y.resize(nn, nn);
+  if (ws.z.rows() != nn || ws.z.cols() != nn) ws.z.resize(nn, nn);
+
+  makeYhat(t, ws.y);
+  linalg::transposeInto(ws.y, ws.z);  // Yhat^T
+
+  // u = Yhat^T (Pi W); out = Yhat u.  Two n x n by n x m products
+  // (~4 n^2 m flops) with no n^3 formation of P.
+  Matrix& piW = ws.applyTmp1;
+  Matrix& u = ws.applyTmp2;
+  if (piW.rows() != nn || piW.cols() != m) piW.resize(nn, m);
+  if (u.rows() != nn || u.cols() != m) u.resize(nn, m);
+  linalg::scaleRows(pi_, w, piW);
+  linalg::gemm(flavor, ws.z, piW, u);
+  linalg::gemm(flavor, ws.y, u, out);
+  for (std::size_t k = 0; k < out.size(); ++k)
+    if (out.data()[k] < 0.0) out.data()[k] = 0.0;
+}
+
+}  // namespace slim::expm

@@ -1,0 +1,92 @@
+#pragma once
+// The SlimCodeML matrix-exponential pipeline (paper Sec. II-C1 / III-A).
+//
+// Given a symmetric exchangeability S and codon frequencies pi, the
+// instantaneous rate matrix is Q = S Pi.  Steps:
+//
+//   1.  A := Pi^{1/2} S Pi^{1/2}                      (O(n^2), Eq. 2)
+//   2.  A  = X Lambda X^T (symmetric eigenproblem)    (O(n^3), once per omega)
+//   then, per branch length t:
+//   3.  Y := X e^{Lambda t/2}                         (O(n^2), Eq. 11)
+//   4.  Z := Y Y^T      [SyrkPath, Eq. 10, ~n^3]      — or —
+//       Z := (X e^{Lambda t}) X^T [GemmPath, Eq. 9, ~2n^3]
+//   5.  P(t) := Pi^{-1/2} Z Pi^{1/2}                  (O(n^2), Eq. 5)
+//
+// The class also implements the Eq. 12-13 refinement: with
+// Yhat := Pi^{-1/2} X e^{Lambda t/2}, the product M = Yhat Yhat^T is
+// *symmetric* and e^{Qt} w = M (Pi w), enabling symv propagation, or the
+// factored apply e^{Qt} W = Yhat (Yhat^T (Pi W)) that skips the n^3
+// formation of P entirely.
+
+#include <span>
+#include <vector>
+
+#include "eigenx/sym_eigen.hpp"
+#include "linalg/blas3.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/matrix.hpp"
+
+namespace slim::expm {
+
+/// How P(t) is reconstructed from the eigendecomposition.
+enum class ReconstructionPath {
+  Gemm,  ///< Eq. 9: Z = (X e^{Lambda t}) X^T, general product, ~2n^3 flops.
+  Syrk,  ///< Eq. 10: Z = Y Y^T with Y = X e^{Lambda t/2}, ~n^3 flops.
+};
+
+constexpr const char* reconstructionPathName(ReconstructionPath p) noexcept {
+  return p == ReconstructionPath::Gemm ? "gemm(Eq.9)" : "syrk(Eq.10)";
+}
+
+/// Scratch buffers reused across transitionMatrix calls so the per-branch
+/// hot loop performs no allocation.
+struct ExpmWorkspace {
+  linalg::Matrix y;          // X e^{Lambda t} or Yhat
+  linalg::Matrix z;          // reconstruction output / Yhat^T
+  linalg::Vector expDiag;    // e^{lambda_i t} or e^{lambda_i t/2}
+  linalg::Matrix applyTmp1;  // Pi W   (apply path)
+  linalg::Matrix applyTmp2;  // Yhat^T (Pi W)
+};
+
+class CodonEigenSystem {
+ public:
+  /// Symmetrize and eigendecompose (steps 1-2).  `s` must be symmetric with
+  /// zero diagonal (an exchangeability matrix, possibly pre-scaled); `pi`
+  /// strictly positive summing to 1.
+  CodonEigenSystem(const linalg::Matrix& s, std::span<const double> pi);
+
+  std::size_t n() const noexcept { return eig_.vectors.rows(); }
+  const linalg::Vector& eigenvalues() const noexcept { return eig_.values; }
+  const linalg::Matrix& eigenvectors() const noexcept { return eig_.vectors; }
+  std::span<const double> pi() const noexcept { return pi_; }
+  std::span<const double> sqrtPi() const noexcept { return sqrtPi_; }
+  std::span<const double> invSqrtPi() const noexcept { return invSqrtPi_; }
+
+  /// Steps 3-5: fill p with P(t) = e^{Qt}.  Tiny negative entries produced
+  /// by roundoff are clamped to 0 (identical policy on every path so that
+  /// engine comparisons are exact-likelihood-equivalent).
+  void transitionMatrix(double t, ReconstructionPath path,
+                        linalg::Flavor flavor, ExpmWorkspace& ws,
+                        linalg::Matrix& p) const;
+
+  /// Eq. 12-13: fill m with the *symmetric* propagator M = Yhat Yhat^T such
+  /// that e^{Qt} w = M (Pi w).  Use with linalg::symv.
+  void symmetricPropagator(double t, linalg::Flavor flavor, ExpmWorkspace& ws,
+                           linalg::Matrix& m) const;
+
+  /// Fill yhat with Yhat = Pi^{-1/2} X e^{Lambda t/2} (n x n), the factor of
+  /// the apply path: e^{Qt} W = Yhat (Yhat^T (Pi W)).
+  void makeYhat(double t, linalg::Matrix& yhat) const;
+
+  /// Apply e^{Qt} to a bundle of column vectors: out := e^{Qt} w where w and
+  /// out are n x m.  Uses the factored path (2 gemms of n x n by n x m),
+  /// never forming P; cheaper than reconstruction when m << n/2.
+  void applyExp(double t, const linalg::Matrix& w, linalg::Flavor flavor,
+                ExpmWorkspace& ws, linalg::Matrix& out) const;
+
+ private:
+  std::vector<double> pi_, sqrtPi_, invSqrtPi_;
+  eigenx::SymEigenResult eig_;
+};
+
+}  // namespace slim::expm

@@ -1,0 +1,17 @@
+#pragma once
+// Pade scaling-and-squaring matrix exponential.
+//
+// An eigendecomposition-free oracle: the decompositional pipeline of
+// CodonEigenSystem is validated against this in tests ("Nineteen dubious
+// ways...", Moler & Van Loan — Pade + scaling/squaring is method #3 and the
+// workhorse of expm() in MATLAB/SciPy).  Not a hot path.
+
+#include "linalg/matrix.hpp"
+
+namespace slim::expm {
+
+/// e^A for a general square matrix via order-6 diagonal Pade approximant
+/// with scaling and squaring.
+linalg::Matrix expmPade(const linalg::Matrix& a);
+
+}  // namespace slim::expm

@@ -1,0 +1,315 @@
+#include "lik/branch_site_likelihood.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/blas1.hpp"
+#include "linalg/blas2.hpp"
+#include "linalg/blas3.hpp"
+#include "linalg/diag.hpp"
+#include "model/frequencies.hpp"
+#include "support/require.hpp"
+
+namespace slim::lik {
+
+using linalg::Matrix;
+using model::MixtureSpec;
+
+BranchSiteLikelihood::BranchSiteLikelihood(
+    const seqio::CodonAlignment& alignment, const seqio::SitePatterns& patterns,
+    std::vector<double> pi, const tree::Tree& tree,
+    model::Hypothesis hypothesis, LikelihoodOptions options)
+    : gc_(*alignment.code),
+      patterns_(patterns),
+      pi_(std::move(pi)),
+      tree_(tree),
+      hypothesis_(hypothesis),
+      options_(options) {
+  n_ = gc_.numSense();
+  npat_ = static_cast<int>(patterns_.numPatterns());
+  SLIM_REQUIRE(npat_ > 0, "no site patterns");
+  model::validateFrequencies(pi_, n_);
+  tree_.validate();
+  SLIM_REQUIRE(tree_.foregroundBranch() >= 0,
+               "branch-site model requires one marked foreground branch (#1)");
+  SLIM_REQUIRE(options_.scalingThreshold > 0 && options_.scalingThreshold < 1,
+               "scaling threshold must be in (0,1)");
+
+  branchNodes_ = tree_.branches();
+
+  // Map leaves onto alignment rows by name and build their static CPVs.
+  leafCpv_.resize(tree_.numNodes());
+  nodeCpv_.resize(tree_.numNodes());
+  nodeScaleLog_.resize(tree_.numNodes());
+  for (int id : tree_.postOrder()) {
+    const auto& node = tree_.node(id);
+    if (!node.isLeaf()) {
+      nodeCpv_[id].resize(npat_, n_);
+      nodeScaleLog_[id].assign(npat_, 0.0);
+      continue;
+    }
+    int row = -1;
+    for (std::size_t s = 0; s < alignment.names.size(); ++s)
+      if (alignment.names[s] == node.label) {
+        row = static_cast<int>(s);
+        break;
+      }
+    SLIM_REQUIRE(row >= 0, "leaf '" + node.label + "' not found in alignment");
+    Matrix& cpv = leafCpv_[id];
+    cpv.resize(npat_, n_);
+    for (int h = 0; h < npat_; ++h) {
+      const int state = patterns_.patterns[h][row];
+      if (state == seqio::kMissingState) {
+        for (int i = 0; i < n_; ++i) cpv(h, i) = 1.0;  // missing: any codon
+      } else {
+        SLIM_REQUIRE(state >= 0 && state < n_, "codon state out of range");
+        cpv(h, state) = 1.0;
+      }
+    }
+  }
+
+  tmp_.resize(npat_, n_);
+  vecTmp_.assign(n_, 0.0);
+
+  totalWeight_ = 0;
+  for (double w : patterns_.weights) totalWeight_ += w;
+}
+
+void BranchSiteLikelihood::setAllBranchLengths(double t) {
+  for (int k = 0; k < numBranches(); ++k) setBranchLength(k, t);
+}
+
+const Matrix& BranchSiteLikelihood::propagator(int node, int omegaIdx) {
+  const std::size_t key =
+      static_cast<std::size_t>(node) * numOmegas_ + omegaIdx;
+  if (propReady_[key]) return propCache_[key];
+
+  Matrix& out = propCache_[key];
+  if (out.rows() != static_cast<std::size_t>(n_)) out.resize(n_, n_);
+  const auto& es = eigenSystems_[omegaToEigen_[omegaIdx]];
+  const double t = tree_.branchLength(node);
+  switch (options_.propagation) {
+    case PropagationStrategy::PerSiteGemv:
+    case PropagationStrategy::BundledGemm:
+      es.transitionMatrix(t, options_.reconstruction, options_.flavor,
+                          expmWs_, out);
+      break;
+    case PropagationStrategy::SymmetricSymv:
+      es.symmetricPropagator(t, options_.flavor, expmWs_, out);
+      break;
+    case PropagationStrategy::FactoredApply:
+      es.makeYhat(t, out);
+      break;
+  }
+  ++counters_.propagatorBuilds;
+  propReady_[key] = 1;
+  return out;
+}
+
+void BranchSiteLikelihood::propagateBranch(const Matrix& prop,
+                                           const Matrix& childCpv) {
+  const auto flavor = options_.flavor;
+  switch (options_.propagation) {
+    case PropagationStrategy::PerSiteGemv: {
+      for (int h = 0; h < npat_; ++h) {
+        auto tmpRow = tmp_.rowSpan(h);
+        linalg::gemv(flavor, prop, childCpv.rowSpan(h), tmpRow);
+      }
+      break;
+    }
+    case PropagationStrategy::BundledGemm: {
+      // tmp(h,i) = sum_j childCpv(h,j) P(i,j)  ==  (P w_h)_i for every h.
+      linalg::gemmNT(flavor, childCpv, prop, tmp_);
+      break;
+    }
+    case PropagationStrategy::SymmetricSymv: {
+      // e^{Qt} w = M (Pi w) with M symmetric (Eq. 12).
+      for (int h = 0; h < npat_; ++h) {
+        const double* w = childCpv.row(h);
+        for (int i = 0; i < n_; ++i) vecTmp_[i] = pi_[i] * w[i];
+        linalg::symv(flavor, prop, vecTmp_.span(), tmp_.rowSpan(h));
+      }
+      // Clamp roundoff negatives (M is not elementwise non-negative).
+      for (std::size_t k = 0; k < tmp_.size(); ++k)
+        if (tmp_.data()[k] < 0.0) tmp_.data()[k] = 0.0;
+      break;
+    }
+    case PropagationStrategy::FactoredApply: {
+      // tmp = ((W Pi) Yhat) Yhat^T, two rectangular gemms, no n x n product.
+      if (applyPiW_.rows() != static_cast<std::size_t>(npat_))
+        applyPiW_.resize(npat_, n_);
+      if (applyU_.rows() != static_cast<std::size_t>(npat_))
+        applyU_.resize(npat_, n_);
+      linalg::scaleCols(childCpv, pi_, applyPiW_);
+      linalg::gemm(flavor, applyPiW_, prop, applyU_);
+      linalg::gemmNT(flavor, applyU_, prop, tmp_);
+      for (std::size_t k = 0; k < tmp_.size(); ++k)
+        if (tmp_.data()[k] < 0.0) tmp_.data()[k] = 0.0;
+      break;
+    }
+  }
+  counters_.patternPropagations += npat_;
+}
+
+void BranchSiteLikelihood::pruneClass(int m) {
+  const int root = tree_.root();
+  const auto& cls = activeClasses_[m];
+  for (int id : tree_.postOrder()) {
+    const auto& node = tree_.node(id);
+    if (node.isLeaf()) continue;
+    Matrix& cpv = nodeCpv_[id];
+    cpv.fill(1.0);
+    auto& scaleLog = nodeScaleLog_[id];
+    scaleLog.assign(npat_, 0.0);
+
+    for (int child : node.children) {
+      const bool childIsLeaf = tree_.node(child).isLeaf();
+      const Matrix& childCpv = childIsLeaf ? leafCpv_[child] : nodeCpv_[child];
+      const int omegaIdx = tree_.node(child).mark != 0 ? cls.omegaForeground
+                                                       : cls.omegaBackground;
+      const Matrix& prop = propagator(child, omegaIdx);
+      propagateBranch(prop, childCpv);
+      linalg::hadamardInPlace({tmp_.data(), tmp_.size()},
+                              {cpv.data(), cpv.size()});
+      if (!childIsLeaf)
+        for (int h = 0; h < npat_; ++h) scaleLog[h] += nodeScaleLog_[child][h];
+    }
+
+    // Underflow rescue: renormalize any pattern row whose maximum dropped
+    // below the threshold, remembering the removed factor in log space.
+    for (int h = 0; h < npat_; ++h) {
+      double mx = 0.0;
+      const double* row = cpv.row(h);
+      for (int i = 0; i < n_; ++i) mx = std::max(mx, row[i]);
+      if (mx > 0.0 && mx < options_.scalingThreshold) {
+        const double inv = 1.0 / mx;
+        double* wrow = cpv.row(h);
+        for (int i = 0; i < n_; ++i) wrow[i] *= inv;
+        scaleLog[h] += std::log(mx);
+      }
+    }
+  }
+
+  // Root: mix over states with the equilibrium frequencies.
+  const Matrix& rootCpv = nodeCpv_[root];
+  for (int h = 0; h < npat_; ++h) {
+    double f = 0.0;
+    const double* row = rootCpv.row(h);
+    for (int i = 0; i < n_; ++i) f += pi_[i] * row[i];
+    classLik_[m][h] = f;
+    classScaleLog_[m][h] = nodeScaleLog_[root][h];
+  }
+}
+
+void BranchSiteLikelihood::computeClassLikelihoods(const MixtureSpec& spec) {
+  spec.validate(n_);
+  numClasses_ = spec.numClasses();
+  numOmegas_ = spec.numOmegas();
+  activeClasses_ = spec.classes;
+  activeOmegas_ = spec.omegas;
+  classProp_.resize(numClasses_);
+  classLik_.resize(numClasses_);
+  classScaleLog_.resize(numClasses_);
+  for (int m = 0; m < numClasses_; ++m) {
+    classProp_[m] = spec.classes[m].proportion;
+    classLik_[m].assign(npat_, 0.0);
+    classScaleLog_[m].assign(npat_, 0.0);
+  }
+
+  // Eigendecompose once per *distinct* omega value (e.g. under the model A
+  // null, omega2 == omega1 == 1 shares one decomposition).
+  eigenSystems_.clear();
+  omegaToEigen_.assign(numOmegas_, -1);
+  for (int k = 0; k < numOmegas_; ++k) {
+    int found = -1;
+    if (options_.cacheEigenByOmega) {
+      for (int j = 0; j < k; ++j)
+        if (spec.omegas[j] == spec.omegas[k]) {
+          found = omegaToEigen_[j];
+          break;
+        }
+    }
+    if (found < 0) {
+      eigenSystems_.emplace_back(spec.scaledS[k], pi_);
+      ++counters_.eigenDecompositions;
+      found = static_cast<int>(eigenSystems_.size()) - 1;
+    }
+    omegaToEigen_[k] = found;
+  }
+
+  // Propagators depend on branch lengths and omega: rebuild lazily.
+  propCache_.resize(static_cast<std::size_t>(tree_.numNodes()) * numOmegas_);
+  propReady_.assign(propCache_.size(), 0);
+
+  for (int m = 0; m < numClasses_; ++m) pruneClass(m);
+  ++counters_.evaluations;
+}
+
+double BranchSiteLikelihood::logLikelihood(
+    const model::BranchSiteParams& params) {
+  params.validate(hypothesis_);
+  return logLikelihood(
+      model::buildModelASpec(gc_, pi_, params, hypothesis_));
+}
+
+double BranchSiteLikelihood::logLikelihood(const MixtureSpec& spec) {
+  computeClassLikelihoods(spec);
+
+  double lnL = 0.0;
+  for (int h = 0; h < npat_; ++h) {
+    double maxS = classScaleLog_[0][h];
+    for (int m = 1; m < numClasses_; ++m)
+      maxS = std::max(maxS, classScaleLog_[m][h]);
+    double f = 0.0;
+    for (int m = 0; m < numClasses_; ++m)
+      f += classProp_[m] * classLik_[m][h] *
+           std::exp(classScaleLog_[m][h] - maxS);
+    if (!(f > 0.0) || !std::isfinite(f))
+      return -std::numeric_limits<double>::infinity();
+    lnL += patterns_.weights[h] * (std::log(f) + maxS);
+  }
+  return lnL;
+}
+
+SiteClassPosteriors BranchSiteLikelihood::siteClassPosteriors(
+    const model::BranchSiteParams& params) {
+  params.validate(hypothesis_);
+  return siteClassPosteriors(
+      model::buildModelASpec(gc_, pi_, params, hypothesis_));
+}
+
+SiteClassPosteriors BranchSiteLikelihood::siteClassPosteriors(
+    const MixtureSpec& spec) {
+  computeClassLikelihoods(spec);
+
+  SiteClassPosteriors out;
+  out.post.assign(numClasses_, std::vector<double>(npat_, 0.0));
+  out.positiveSelection.assign(npat_, 0.0);
+
+  std::vector<double> joint(numClasses_);
+  for (int h = 0; h < npat_; ++h) {
+    double maxS = classScaleLog_[0][h];
+    for (int m = 1; m < numClasses_; ++m)
+      maxS = std::max(maxS, classScaleLog_[m][h]);
+    double f = 0.0;
+    for (int m = 0; m < numClasses_; ++m) {
+      joint[m] = classProp_[m] * classLik_[m][h] *
+                 std::exp(classScaleLog_[m][h] - maxS);
+      f += joint[m];
+    }
+    SLIM_REQUIRE(f > 0.0, "zero site likelihood in posterior computation");
+    for (int m = 0; m < numClasses_; ++m) {
+      out.post[m][h] = joint[m] / f;
+      // "Positive selection" = classes whose foreground omega exceeds 1.
+      if (activeOmegas_[activeClasses_[m].omegaForeground] > 1.0)
+        out.positiveSelection[h] += out.post[m][h];
+    }
+  }
+
+  out.positiveSelectionBySite.reserve(patterns_.siteToPattern.size());
+  for (int p : patterns_.siteToPattern)
+    out.positiveSelectionBySite.push_back(out.positiveSelection[p]);
+  return out;
+}
+
+}  // namespace slim::lik

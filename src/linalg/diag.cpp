@@ -1,0 +1,37 @@
+#include "linalg/diag.hpp"
+
+#include "support/require.hpp"
+
+namespace slim::linalg {
+
+void scaleSandwich(const Matrix& a, std::span<const double> l,
+                   std::span<const double> r, Matrix& b) {
+  SLIM_REQUIRE(l.size() == a.rows() && r.size() == a.cols(),
+               "scaleSandwich: diagonal size mismatch");
+  SLIM_REQUIRE(b.rows() == a.rows() && b.cols() == a.cols(),
+               "scaleSandwich: output shape mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double li = l[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) b(i, j) = li * a(i, j) * r[j];
+  }
+}
+
+void scaleCols(const Matrix& a, std::span<const double> d, Matrix& b) {
+  SLIM_REQUIRE(d.size() == a.cols(), "scaleCols: diagonal size mismatch");
+  SLIM_REQUIRE(b.rows() == a.rows() && b.cols() == a.cols(),
+               "scaleCols: output shape mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) b(i, j) = a(i, j) * d[j];
+}
+
+void scaleRows(std::span<const double> d, const Matrix& a, Matrix& b) {
+  SLIM_REQUIRE(d.size() == a.rows(), "scaleRows: diagonal size mismatch");
+  SLIM_REQUIRE(b.rows() == a.rows() && b.cols() == a.cols(),
+               "scaleRows: output shape mismatch");
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double di = d[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) b(i, j) = di * a(i, j);
+  }
+}
+
+}  // namespace slim::linalg

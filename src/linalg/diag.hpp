@@ -1,0 +1,24 @@
+#pragma once
+// Diagonal-scaling helpers: the O(n^2) steps 1, 3 and 5 of the SlimCodeML
+// matrix-exponential pipeline (Sec. III-A) are sandwich products with
+// diagonal matrices; forming a dense diagonal matrix and calling gemm would
+// waste ~2n^3 flops, so these dedicated kernels exist in both engines.
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace slim::linalg {
+
+/// B := diag(l) * A * diag(r).  l has size rows, r size cols.  B may alias A.
+void scaleSandwich(const Matrix& a, std::span<const double> l,
+                   std::span<const double> r, Matrix& b);
+
+/// B := A * diag(d).  d has size cols.  B may alias A.
+/// (Step 3 of Sec. III-A: Y = X e^{Lambda t/2}.)
+void scaleCols(const Matrix& a, std::span<const double> d, Matrix& b);
+
+/// B := diag(d) * A.  d has size rows.  B may alias A.
+void scaleRows(std::span<const double> d, const Matrix& a, Matrix& b);
+
+}  // namespace slim::linalg

@@ -1,0 +1,79 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace slim::linalg {
+
+LuFactorization::LuFactorization(const Matrix& a) : lu_(a) {
+  SLIM_REQUIRE(a.square(), "LU: matrix must be square");
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = static_cast<int>(i);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |value| in column k at or below the diagonal.
+    std::size_t piv = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    SLIM_REQUIRE(best > 0.0, "LU: matrix is singular");
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(piv, j), lu_(k, j));
+      std::swap(perm_[piv], perm_[k]);
+      pivotSign_ = -pivotSign_;
+    }
+    const double inv = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) * inv;
+      lu_(i, k) = m;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  SLIM_REQUIRE(b.size() == n, "LU solve: rhs size mismatch");
+  Vector x(n);
+  // Forward substitution with permutation.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double s = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix LuFactorization::solve(const Matrix& b) const {
+  const std::size_t n = lu_.rows();
+  SLIM_REQUIRE(b.rows() == n, "LU solve: rhs rows mismatch");
+  Matrix x(n, b.cols());
+  Vector col(n), sol(n);
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+    sol = solve(col);
+    for (std::size_t i = 0; i < n; ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const noexcept {
+  double d = pivotSign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+}  // namespace slim::linalg

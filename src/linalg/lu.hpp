@@ -1,0 +1,32 @@
+#pragma once
+// Dense LU factorization with partial pivoting.  Not a hot path: used by the
+// Pade matrix-exponential oracle (tests/benches) and available for generic
+// linear solves.
+
+#include "linalg/matrix.hpp"
+
+namespace slim::linalg {
+
+/// LU factorization with partial pivoting, P*A = L*U.
+class LuFactorization {
+ public:
+  /// Factor a square matrix.  Throws std::invalid_argument if singular to
+  /// working precision.
+  explicit LuFactorization(const Matrix& a);
+
+  /// Solve A x = b for a single right-hand side.
+  Vector solve(const Vector& b) const;
+
+  /// Solve A X = B column-wise (B is n x m).
+  Matrix solve(const Matrix& b) const;
+
+  /// Determinant (product of U diagonal with pivot sign).
+  double determinant() const noexcept;
+
+ private:
+  Matrix lu_;
+  std::vector<int> perm_;
+  int pivotSign_ = 1;
+};
+
+}  // namespace slim::linalg

@@ -1,0 +1,50 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace slim::linalg {
+
+Matrix transposed(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+void transposeInto(const Matrix& a, Matrix& b) {
+  SLIM_REQUIRE(b.rows() == a.cols() && b.cols() == a.rows(),
+               "transposeInto: output shape mismatch");
+  SLIM_REQUIRE(&a != &b, "transposeInto: output must not alias input");
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) b(j, i) = a(i, j);
+}
+
+double maxAbsDiff(const Matrix& a, const Matrix& b) {
+  SLIM_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  double m = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k)
+    m = std::max(m, std::fabs(a.data()[k] - b.data()[k]));
+  return m;
+}
+
+double maxAbsDiff(const Vector& a, const Vector& b) {
+  SLIM_REQUIRE(a.size() == b.size(), "size mismatch");
+  double m = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k)
+    m = std::max(m, std::fabs(a[k] - b[k]));
+  return m;
+}
+
+bool allFinite(const Matrix& a) noexcept {
+  for (std::size_t k = 0; k < a.size(); ++k)
+    if (!std::isfinite(a.data()[k])) return false;
+  return true;
+}
+
+bool allFinite(std::span<const double> a) noexcept {
+  for (double v : a)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+}  // namespace slim::linalg

@@ -1,0 +1,100 @@
+#include "model/frequencies.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "support/require.hpp"
+
+namespace slim::model {
+
+const char* codonFrequencyModelName(CodonFrequencyModel m) noexcept {
+  switch (m) {
+    case CodonFrequencyModel::Equal: return "Equal";
+    case CodonFrequencyModel::F1x4: return "F1x4";
+    case CodonFrequencyModel::F3x4: return "F3x4";
+    case CodonFrequencyModel::F61: return "F61";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<double> normalized(std::vector<double> v, double floorValue) {
+  for (double& x : v) x = std::max(x, floorValue);
+  const double total = std::accumulate(v.begin(), v.end(), 0.0);
+  SLIM_REQUIRE(total > 0, "frequency normalization: zero total");
+  for (double& x : v) x /= total;
+  return v;
+}
+
+}  // namespace
+
+std::vector<double> estimateCodonFrequencies(const seqio::CodonAlignment& ca,
+                                             CodonFrequencyModel m,
+                                             double minFrequency) {
+  SLIM_REQUIRE(ca.code != nullptr, "codon alignment without a genetic code");
+  SLIM_REQUIRE(minFrequency > 0 && minFrequency < 1e-2,
+               "minFrequency must be a small positive floor");
+  const auto& gc = *ca.code;
+  const int n = gc.numSense();
+  std::vector<double> pi(n, 0.0);
+
+  switch (m) {
+    case CodonFrequencyModel::Equal: {
+      pi.assign(n, 1.0 / n);
+      return pi;
+    }
+    case CodonFrequencyModel::F61: {
+      return normalized(seqio::codonCounts(ca, /*pseudocount=*/0.0),
+                        minFrequency);
+    }
+    case CodonFrequencyModel::F1x4: {
+      const auto posCounts = seqio::positionalNucleotideCounts(ca);
+      double nt[4] = {0, 0, 0, 0};
+      for (int p = 0; p < 3; ++p)
+        for (int b = 0; b < 4; ++b) nt[b] += posCounts[p][b];
+      const double total = nt[0] + nt[1] + nt[2] + nt[3];
+      SLIM_REQUIRE(total > 0, "F1x4: no resolved codons in alignment");
+      for (int s = 0; s < n; ++s) {
+        const int c64 = gc.codonOfSense(s);
+        double f = 1.0;
+        for (int p = 0; p < 3; ++p)
+          f *= nt[static_cast<int>(bio::codonBase(c64, p))] / total;
+        pi[s] = f;
+      }
+      return normalized(std::move(pi), minFrequency);
+    }
+    case CodonFrequencyModel::F3x4: {
+      const auto posCounts = seqio::positionalNucleotideCounts(ca);
+      double posTotal[3];
+      for (int p = 0; p < 3; ++p)
+        posTotal[p] = posCounts[p][0] + posCounts[p][1] + posCounts[p][2] +
+                      posCounts[p][3];
+      SLIM_REQUIRE(posTotal[0] > 0, "F3x4: no resolved codons in alignment");
+      for (int s = 0; s < n; ++s) {
+        const int c64 = gc.codonOfSense(s);
+        double f = 1.0;
+        for (int p = 0; p < 3; ++p)
+          f *= posCounts[p][static_cast<int>(bio::codonBase(c64, p))] /
+               posTotal[p];
+        pi[s] = f;
+      }
+      return normalized(std::move(pi), minFrequency);
+    }
+  }
+  SLIM_REQUIRE(false, "unknown codon frequency model");
+  return pi;
+}
+
+void validateFrequencies(const std::vector<double>& pi, int numSense) {
+  SLIM_REQUIRE(static_cast<int>(pi.size()) == numSense,
+               "frequency vector has wrong length");
+  double total = 0.0;
+  for (double f : pi) {
+    SLIM_REQUIRE(f > 0.0, "frequencies must be strictly positive");
+    total += f;
+  }
+  SLIM_REQUIRE(std::fabs(total - 1.0) < 1e-8, "frequencies must sum to 1");
+}
+
+}  // namespace slim::model

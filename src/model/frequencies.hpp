@@ -1,0 +1,36 @@
+#pragma once
+// Equilibrium codon frequency estimators.
+//
+// "the codon frequencies pi_i used in the model are determined empirically
+// from the MSA" (paper Sec. II-A).  CodeML offers several estimators
+// (CodonFreq = 0..3); all four are provided.  Frequencies are guaranteed
+// strictly positive (required by the Pi^{1/2} symmetrization of Eq. 2) and
+// sum to one.
+
+#include <vector>
+
+#include "seqio/alignment.hpp"
+
+namespace slim::model {
+
+enum class CodonFrequencyModel {
+  Equal,  ///< 1/numSense for every sense codon (CodonFreq = 0).
+  F1x4,   ///< Products of overall nucleotide frequencies (CodonFreq = 1).
+  F3x4,   ///< Products of position-specific nucleotide frequencies (CodonFreq = 2).
+  F61,    ///< Empirical sense-codon proportions (CodonFreq = 3).
+};
+
+const char* codonFrequencyModelName(CodonFrequencyModel m) noexcept;
+
+/// Estimate equilibrium codon frequencies from the alignment.
+/// minFrequency floors every entry before renormalization so that
+/// frequencies are strictly positive even for codons absent from the data.
+std::vector<double> estimateCodonFrequencies(
+    const seqio::CodonAlignment& ca, CodonFrequencyModel m,
+    double minFrequency = 1e-7);
+
+/// Validate a frequency vector: correct length, all > 0, sums to 1 within
+/// tolerance.  Throws std::invalid_argument on violation.
+void validateFrequencies(const std::vector<double>& pi, int numSense);
+
+}  // namespace slim::model

@@ -1,0 +1,110 @@
+#include "model/site_mixture.hpp"
+
+#include <cmath>
+
+#include "model/codon_model.hpp"
+#include "support/require.hpp"
+
+namespace slim::model {
+
+using linalg::Matrix;
+
+void MixtureSpec::validate(int numSense) const {
+  SLIM_REQUIRE(!omegas.empty() && !classes.empty(), "empty mixture");
+  SLIM_REQUIRE(omegas.size() == scaledS.size(), "omegas/scaledS mismatch");
+  for (const auto& s : scaledS)
+    SLIM_REQUIRE(s.rows() == static_cast<std::size_t>(numSense) && s.square(),
+                 "scaled exchangeability has wrong shape");
+  double total = 0;
+  for (const auto& c : classes) {
+    SLIM_REQUIRE(c.proportion > 0, "class proportion must be > 0");
+    SLIM_REQUIRE(c.omegaBackground >= 0 && c.omegaBackground < numOmegas(),
+                 "background omega index out of range");
+    SLIM_REQUIRE(c.omegaForeground >= 0 && c.omegaForeground < numOmegas(),
+                 "foreground omega index out of range");
+    total += c.proportion;
+  }
+  SLIM_REQUIRE(std::fabs(total - 1.0) < 1e-9,
+               "class proportions must sum to 1");
+  SLIM_REQUIRE(scale > 0, "scale must be positive");
+}
+
+bool MixtureSpec::branchHomogeneous() const noexcept {
+  for (const auto& c : classes)
+    if (c.omegaBackground != c.omegaForeground) return false;
+  return true;
+}
+
+MixtureSpec buildMixtureSpec(const bio::GeneticCode& gc,
+                             std::span<const double> pi, double kappa,
+                             std::vector<double> omegas,
+                             std::vector<MixtureClass> classes) {
+  const int n = gc.numSense();
+  SLIM_REQUIRE(static_cast<int>(pi.size()) == n, "pi has wrong length");
+
+  MixtureSpec spec;
+  spec.omegas = std::move(omegas);
+  spec.classes = std::move(classes);
+  spec.scaledS.assign(spec.omegas.size(), Matrix(n, n));
+
+  std::vector<double> rate(spec.omegas.size());
+  Matrix q(n, n);
+  for (std::size_t k = 0; k < spec.omegas.size(); ++k) {
+    buildExchangeability(gc, kappa, spec.omegas[k], spec.scaledS[k]);
+    rate[k] = buildRateMatrix(spec.scaledS[k], pi, q);
+    SLIM_REQUIRE(rate[k] > 0, "degenerate rate matrix");
+  }
+
+  double scale = 0;
+  for (const auto& c : spec.classes)
+    scale += c.proportion * rate[c.omegaBackground];
+  SLIM_REQUIRE(scale > 0, "degenerate scale factor");
+  spec.scale = scale;
+  for (auto& s : spec.scaledS)
+    for (std::size_t i = 0; i < s.size(); ++i) s.data()[i] /= scale;
+
+  spec.validate(n);
+  return spec;
+}
+
+MixtureSpec buildModelASpec(const bio::GeneticCode& gc,
+                            std::span<const double> pi,
+                            const BranchSiteParams& params, Hypothesis h) {
+  params.validate(h);
+  const auto omegas = params.distinctOmegas(h);
+  const auto prop = siteClassProportions(params.p0, params.p1);
+  std::vector<MixtureClass> classes(kNumSiteClasses);
+  for (int m = 0; m < kNumSiteClasses; ++m)
+    classes[m] = {prop[m], omegaIndexFor(m, false), omegaIndexFor(m, true)};
+  return buildMixtureSpec(gc, pi, params.kappa,
+                          {omegas.begin(), omegas.end()}, std::move(classes));
+}
+
+MixtureSpec buildM1aSpec(const bio::GeneticCode& gc,
+                         std::span<const double> pi,
+                         const SiteModelParams& params) {
+  SLIM_REQUIRE(params.kappa > 0, "kappa must be > 0");
+  SLIM_REQUIRE(params.omega0 > 0 && params.omega0 < 1,
+               "omega0 must be in (0,1)");
+  SLIM_REQUIRE(params.p0 > 0 && params.p0 < 1, "p0 must be in (0,1)");
+  return buildMixtureSpec(gc, pi, params.kappa, {params.omega0, 1.0},
+                          {{params.p0, 0, 0}, {1.0 - params.p0, 1, 1}});
+}
+
+MixtureSpec buildM2aSpec(const bio::GeneticCode& gc,
+                         std::span<const double> pi,
+                         const SiteModelParams& params) {
+  SLIM_REQUIRE(params.kappa > 0, "kappa must be > 0");
+  SLIM_REQUIRE(params.omega0 > 0 && params.omega0 < 1,
+               "omega0 must be in (0,1)");
+  SLIM_REQUIRE(params.omega2 >= 1, "omega2 must be >= 1");
+  SLIM_REQUIRE(params.p0 > 0 && params.p1 > 0 && params.p0 + params.p1 < 1,
+               "need p0, p1 > 0 and p0 + p1 < 1");
+  return buildMixtureSpec(
+      gc, pi, params.kappa, {params.omega0, 1.0, params.omega2},
+      {{params.p0, 0, 0},
+       {params.p1, 1, 1},
+       {1.0 - params.p0 - params.p1, 2, 2}});
+}
+
+}  // namespace slim::model

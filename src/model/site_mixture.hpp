@@ -1,0 +1,88 @@
+#pragma once
+// Generic omega-class mixtures.
+//
+// Branch-site model A is one member of a family of codon mixture models;
+// the paper's conclusion notes that "the optimized likelihood computation
+// can also be applied to further maximum likelihood-based evolutionary
+// models".  MixtureSpec is the common description the likelihood engine
+// consumes: a set of distinct omega classes (with pre-scaled
+// exchangeabilities) plus site classes assigning an omega to background and
+// foreground branches.  Site models (no branch component) simply use the
+// same omega on both.
+//
+// Provided builders:
+//   - model A / model A-null      (Table I; used via branch_site.hpp)
+//   - M1a "nearly neutral"        (classes: omega0 < 1, omega1 = 1)
+//   - M2a "positive selection"    (M1a + a class with omega2 > 1)
+// The M1a-vs-M2a LRT (df = 2) is the classic *site* test for positive
+// selection (Yang et al. 2005), complementing the branch-site test.
+
+#include <vector>
+
+#include "bio/genetic_code.hpp"
+#include "linalg/matrix.hpp"
+#include "model/branch_site.hpp"
+
+namespace slim::model {
+
+/// One site class of a mixture.
+struct MixtureClass {
+  double proportion = 0;  ///< Class weight; all proportions sum to 1.
+  int omegaBackground = 0;  ///< Index into MixtureSpec::omegas.
+  int omegaForeground = 0;  ///< Same as background for pure site models.
+};
+
+/// A ready-to-evaluate mixture: distinct omegas with their scaled
+/// exchangeability matrices, plus the site classes.
+struct MixtureSpec {
+  std::vector<double> omegas;            ///< Distinct omega values.
+  std::vector<linalg::Matrix> scaledS;   ///< S(kappa, omega_k) / scale.
+  std::vector<MixtureClass> classes;
+  double scale = 1.0;
+
+  int numClasses() const noexcept { return static_cast<int>(classes.size()); }
+  int numOmegas() const noexcept { return static_cast<int>(omegas.size()); }
+
+  /// Structural checks (proportions sum to 1, indices in range, shapes).
+  void validate(int numSense) const;
+
+  /// True when no class distinguishes foreground from background (a pure
+  /// site model, evaluable on an unmarked tree).
+  bool branchHomogeneous() const noexcept;
+};
+
+/// Common scaling convention: one factor normalizing the proportion-weighted
+/// mean *background* substitution rate to 1 (branch lengths = expected
+/// substitutions per codon averaged over classes).
+MixtureSpec buildMixtureSpec(const bio::GeneticCode& gc,
+                             std::span<const double> pi, double kappa,
+                             std::vector<double> omegas,
+                             std::vector<MixtureClass> classes);
+
+/// Model A of Table I as a MixtureSpec (equivalent to buildBranchSiteQSet +
+/// siteClassProportions; used by the generic evaluator path).
+MixtureSpec buildModelASpec(const bio::GeneticCode& gc,
+                            std::span<const double> pi,
+                            const BranchSiteParams& params, Hypothesis h);
+
+/// Parameters of the M1a / M2a site models.
+struct SiteModelParams {
+  double kappa = 2.0;
+  double omega0 = 0.1;  ///< in (0,1)
+  double omega2 = 2.0;  ///< > 1; M2a only
+  double p0 = 0.5;      ///< proportion of the conserved class
+  double p1 = 0.4;      ///< proportion of the neutral class; M2a only
+                        ///< (M1a uses p1 = 1 - p0)
+};
+
+/// M1a "nearly neutral": classes {omega0 (p0), omega1 = 1 (1-p0)}.
+MixtureSpec buildM1aSpec(const bio::GeneticCode& gc,
+                         std::span<const double> pi,
+                         const SiteModelParams& params);
+
+/// M2a "positive selection": classes {omega0 (p0), 1 (p1), omega2 (rest)}.
+MixtureSpec buildM2aSpec(const bio::GeneticCode& gc,
+                         std::span<const double> pi,
+                         const SiteModelParams& params);
+
+}  // namespace slim::model

@@ -1,0 +1,160 @@
+#include "opt/bfgs.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/require.hpp"
+
+namespace slim::opt {
+
+namespace {
+
+double infNorm(std::span<const double> v) noexcept {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace
+
+void fdGradient(const Objective& f, std::span<const double> x, double f0,
+                double relStep, bool central, std::span<double> grad,
+                long& evals) {
+  const std::size_t n = x.size();
+  SLIM_REQUIRE(grad.size() == n, "gradient size mismatch");
+  std::vector<double> xp(x.begin(), x.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double h = relStep * (std::fabs(x[i]) + 1.0);
+    const double xi = x[i];
+    xp[i] = xi + h;
+    const double fPlus = f(xp);
+    ++evals;
+    if (central) {
+      xp[i] = xi - h;
+      const double fMinus = f(xp);
+      ++evals;
+      grad[i] = (fPlus - fMinus) / (2.0 * h);
+    } else {
+      grad[i] = (fPlus - f0) / h;
+    }
+    xp[i] = xi;
+  }
+}
+
+BfgsResult minimizeBfgs(const Objective& f, std::span<const double> x0,
+                        const BfgsOptions& options) {
+  const std::size_t n = x0.size();
+  SLIM_REQUIRE(n > 0, "BFGS: empty parameter vector");
+
+  BfgsResult res;
+  res.x.assign(x0.begin(), x0.end());
+  res.value = f(res.x);
+  ++res.functionEvaluations;
+  SLIM_REQUIRE(std::isfinite(res.value),
+               "BFGS: objective not finite at the starting point");
+
+  // Inverse Hessian approximation, initialized to the identity.
+  std::vector<double> hInv(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) hInv[i * n + i] = 1.0;
+
+  std::vector<double> grad(n), gradNew(n), dir(n), xNew(n), s(n), y(n), hy(n);
+  fdGradient(f, res.x, res.value, options.fdStep, options.centralDifferences,
+             grad, res.functionEvaluations);
+
+  int slowProgress = 0;
+  for (res.iterations = 0; res.iterations < options.maxIterations;
+       ++res.iterations) {
+    if (infNorm(grad) < options.gradTolerance * (1.0 + std::fabs(res.value))) {
+      res.converged = true;
+      res.message = "gradient tolerance reached";
+      return res;
+    }
+
+    // Search direction d = -H g.
+    for (std::size_t i = 0; i < n; ++i) {
+      double t = 0.0;
+      for (std::size_t j = 0; j < n; ++j) t += hInv[i * n + j] * grad[j];
+      dir[i] = -t;
+    }
+    // Guard: if H lost descent property, reset to steepest descent.
+    double gTd = 0.0;
+    for (std::size_t i = 0; i < n; ++i) gTd += grad[i] * dir[i];
+    if (!(gTd < 0.0)) {
+      for (std::size_t i = 0; i < n; ++i) dir[i] = -grad[i];
+      gTd = 0.0;
+      for (std::size_t i = 0; i < n; ++i) gTd += grad[i] * dir[i];
+      for (std::size_t i = 0; i < n * n; ++i) hInv[i] = 0.0;
+      for (std::size_t i = 0; i < n; ++i) hInv[i * n + i] = 1.0;
+    }
+
+    // Armijo backtracking.
+    double step = 1.0;
+    double fNew = std::numeric_limits<double>::infinity();
+    bool accepted = false;
+    for (int ls = 0; ls < options.maxLineSearchSteps; ++ls) {
+      for (std::size_t i = 0; i < n; ++i) xNew[i] = res.x[i] + step * dir[i];
+      fNew = f(xNew);
+      ++res.functionEvaluations;
+      if (std::isfinite(fNew) &&
+          fNew <= res.value + options.armijoC1 * step * gTd) {
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) {
+      res.message = "line search failed (stationary within precision)";
+      res.converged = infNorm(grad) <
+                      1e-3 * (1.0 + std::fabs(res.value));
+      return res;
+    }
+
+    fdGradient(f, xNew, fNew, options.fdStep, options.centralDifferences,
+               gradNew, res.functionEvaluations);
+
+    // BFGS inverse update with curvature safeguard.
+    double sy = 0.0, ss = 0.0, yy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      s[i] = xNew[i] - res.x[i];
+      y[i] = gradNew[i] - grad[i];
+      sy += s[i] * y[i];
+      ss += s[i] * s[i];
+      yy += y[i] * y[i];
+    }
+    if (sy > 1e-12 * std::sqrt(ss * yy)) {
+      const double rho = 1.0 / sy;
+      // H <- (I - rho s y^T) H (I - rho y s^T) + rho s s^T
+      for (std::size_t i = 0; i < n; ++i) {
+        double t = 0.0;
+        for (std::size_t j = 0; j < n; ++j) t += hInv[i * n + j] * y[j];
+        hy[i] = t;  // (H y)_i
+      }
+      double yHy = 0.0;
+      for (std::size_t i = 0; i < n; ++i) yHy += y[i] * hy[i];
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          hInv[i * n + j] += rho * ((1.0 + rho * yHy) * s[i] * s[j] -
+                                    hy[i] * s[j] - s[i] * hy[j]);
+    }
+
+    const double improvement = res.value - fNew;
+    res.x = xNew;
+    res.value = fNew;
+    grad = gradNew;
+
+    if (improvement < options.fTolerance * (1.0 + std::fabs(res.value))) {
+      if (++slowProgress >= 2) {
+        res.converged = true;
+        res.message = "function tolerance reached";
+        ++res.iterations;
+        return res;
+      }
+    } else {
+      slowProgress = 0;
+    }
+  }
+  res.message = "maximum iterations reached";
+  return res;
+}
+
+}  // namespace slim::opt

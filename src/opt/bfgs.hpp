@@ -1,0 +1,60 @@
+#pragma once
+// Quasi-Newton minimization.
+//
+// "The maximization of the likelihood of the BSM is achieved through
+// iterative maximization algorithms such as Newton-Raphson methods or an
+// approximation like the BFGS method" (paper Sec. II-B).  Both engines share
+// this optimizer so that iteration counts are comparable; remaining
+// iteration-count differences between engines come from floating-point
+// reassociation in the kernels, the same sensitivity the paper reports for
+// CodeML under different RNG seeds (Sec. IV).
+//
+// Gradients are forward finite differences (optionally central), matching
+// CodeML's derivative-free usage.
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace slim::opt {
+
+/// Objective to minimize.  May return +infinity / NaN for infeasible points;
+/// the line search backtracks away from them.
+using Objective = std::function<double(std::span<const double>)>;
+
+struct BfgsOptions {
+  int maxIterations = 500;
+  /// Converged when ||grad||_inf < gradTolerance * (1 + |f|).
+  double gradTolerance = 1e-6;
+  /// Converged when the improvement over an iteration is below
+  /// fTolerance * (1 + |f|) twice in a row.
+  double fTolerance = 1e-9;
+  /// Relative forward-difference step.
+  double fdStep = 1e-7;
+  bool centralDifferences = false;
+  int maxLineSearchSteps = 40;
+  double armijoC1 = 1e-4;
+};
+
+struct BfgsResult {
+  std::vector<double> x;     ///< Best point found.
+  double value = 0;          ///< f(x).
+  int iterations = 0;        ///< Outer BFGS iterations performed.
+  long functionEvaluations = 0;
+  bool converged = false;
+  std::string message;
+};
+
+/// Minimize f from x0 with BFGS (dense inverse-Hessian update, Armijo
+/// backtracking line search, finite-difference gradients).
+BfgsResult minimizeBfgs(const Objective& f, std::span<const double> x0,
+                        const BfgsOptions& options = {});
+
+/// Finite-difference gradient of f at x where f0 = f(x); evals is
+/// incremented by the number of objective calls made.
+void fdGradient(const Objective& f, std::span<const double> x, double f0,
+                double relStep, bool central, std::span<double> grad,
+                long& evals);
+
+}  // namespace slim::opt

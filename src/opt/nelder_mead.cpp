@@ -1,0 +1,138 @@
+#include "opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/require.hpp"
+
+namespace slim::opt {
+
+namespace {
+
+// Standard coefficients: reflection, expansion, contraction, shrink.
+constexpr double kAlpha = 1.0;
+constexpr double kGamma = 2.0;
+constexpr double kRho = 0.5;
+constexpr double kSigma = 0.5;
+
+double sanitize(double v) noexcept {
+  return std::isfinite(v) ? v : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+NelderMeadResult minimizeNelderMead(const Objective& f,
+                                    std::span<const double> x0,
+                                    const NelderMeadOptions& options) {
+  const std::size_t n = x0.size();
+  SLIM_REQUIRE(n > 0, "Nelder-Mead: empty parameter vector");
+  SLIM_REQUIRE(options.initialStep > 0, "Nelder-Mead: initialStep must be > 0");
+
+  NelderMeadResult res;
+
+  // Simplex of n+1 vertices: x0 and x0 + step*e_i.
+  std::vector<std::vector<double>> vertex(n + 1,
+                                          std::vector<double>(x0.begin(), x0.end()));
+  std::vector<double> fv(n + 1);
+  for (std::size_t i = 1; i <= n; ++i) vertex[i][i - 1] += options.initialStep;
+  for (std::size_t i = 0; i <= n; ++i) {
+    fv[i] = sanitize(f(vertex[i]));
+    ++res.functionEvaluations;
+  }
+  SLIM_REQUIRE(std::isfinite(fv[0]),
+               "Nelder-Mead: objective not finite at the starting point");
+
+  std::vector<std::size_t> order(n + 1);
+  std::vector<double> centroid(n), xr(n), xe(n), xc(n);
+
+  for (res.iterations = 0; res.iterations < options.maxIterations;
+       ++res.iterations) {
+    // Order vertices by value.
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+    const std::size_t best = order[0], worst = order[n], second = order[n - 1];
+
+    // Convergence: value spread and simplex diameter both small.
+    double diameter = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      diameter = std::max(diameter,
+                          std::fabs(vertex[worst][i] - vertex[best][i]));
+    const double spread =
+        std::isfinite(fv[worst]) ? fv[worst] - fv[best]
+                                 : std::numeric_limits<double>::infinity();
+    if (spread < options.fTolerance * (1.0 + std::fabs(fv[best])) &&
+        diameter < options.xTolerance) {
+      res.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    for (std::size_t i = 0; i < n; ++i) centroid[i] = 0;
+    for (std::size_t k = 0; k <= n; ++k) {
+      if (k == worst) continue;
+      for (std::size_t i = 0; i < n; ++i) centroid[i] += vertex[k][i];
+    }
+    for (std::size_t i = 0; i < n; ++i) centroid[i] /= static_cast<double>(n);
+
+    // Reflection.
+    for (std::size_t i = 0; i < n; ++i)
+      xr[i] = centroid[i] + kAlpha * (centroid[i] - vertex[worst][i]);
+    const double fr = sanitize(f(xr));
+    ++res.functionEvaluations;
+
+    if (fr < fv[best]) {
+      // Expansion.
+      for (std::size_t i = 0; i < n; ++i)
+        xe[i] = centroid[i] + kGamma * (xr[i] - centroid[i]);
+      const double fe = sanitize(f(xe));
+      ++res.functionEvaluations;
+      if (fe < fr) {
+        vertex[worst] = xe;
+        fv[worst] = fe;
+      } else {
+        vertex[worst] = xr;
+        fv[worst] = fr;
+      }
+      continue;
+    }
+    if (fr < fv[second]) {
+      vertex[worst] = xr;
+      fv[worst] = fr;
+      continue;
+    }
+
+    // Contraction (outside if the reflected point improved on the worst,
+    // inside otherwise).
+    const bool outside = fr < fv[worst];
+    const auto& towards = outside ? xr : vertex[worst];
+    for (std::size_t i = 0; i < n; ++i)
+      xc[i] = centroid[i] + kRho * (towards[i] - centroid[i]);
+    const double fc = sanitize(f(xc));
+    ++res.functionEvaluations;
+    if (fc < (outside ? fr : fv[worst])) {
+      vertex[worst] = xc;
+      fv[worst] = fc;
+      continue;
+    }
+
+    // Shrink towards the best vertex.
+    for (std::size_t k = 0; k <= n; ++k) {
+      if (k == best) continue;
+      for (std::size_t i = 0; i < n; ++i)
+        vertex[k][i] = vertex[best][i] + kSigma * (vertex[k][i] - vertex[best][i]);
+      fv[k] = sanitize(f(vertex[k]));
+      ++res.functionEvaluations;
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= n; ++i)
+    if (fv[i] < fv[best]) best = i;
+  res.x = vertex[best];
+  res.value = fv[best];
+  return res;
+}
+
+}  // namespace slim::opt

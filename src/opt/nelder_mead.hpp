@@ -1,0 +1,36 @@
+#pragma once
+// Derivative-free simplex minimization (Nelder & Mead 1965).
+//
+// The BFGS driver needs (numParams + 1) likelihood evaluations per
+// finite-difference gradient; on trees with hundreds of branches a
+// derivative-free restart can be the more robust choice near non-smooth
+// regions (parameter bounds, mixture-weight boundaries).  Production
+// phylogenetics packages ship both; this one doubles as an independent
+// optimizer to cross-check BFGS results in tests.
+
+#include "opt/bfgs.hpp"  // Objective
+
+namespace slim::opt {
+
+struct NelderMeadOptions {
+  int maxIterations = 2000;        ///< Reflect/expand/contract/shrink steps.
+  double initialStep = 0.5;        ///< Per-coordinate initial simplex offset.
+  double fTolerance = 1e-10;       ///< Stop when spread(f) < fTol*(1+|best|).
+  double xTolerance = 1e-9;        ///< ... and simplex diameter below this.
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0;
+  int iterations = 0;
+  long functionEvaluations = 0;
+  bool converged = false;
+};
+
+/// Minimize f from x0.  The objective may return +inf/NaN for infeasible
+/// points (treated as worse than any finite value).
+NelderMeadResult minimizeNelderMead(const Objective& f,
+                                    std::span<const double> x0,
+                                    const NelderMeadOptions& options = {});
+
+}  // namespace slim::opt

@@ -1,0 +1,55 @@
+#include "opt/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slim::opt {
+
+namespace {
+// Clamp margin keeping internal coordinates in a numerically benign range:
+// |u| <= ~34 for log/logistic transforms.
+constexpr double kTiny = 1e-15;
+}  // namespace
+
+double Transform::toExternal(double u) const noexcept {
+  switch (kind_) {
+    case Kind::Identity: return u;
+    case Kind::Log: return lo_ + std::exp(u);
+    case Kind::Logistic: {
+      const double s = 1.0 / (1.0 + std::exp(-u));
+      return lo_ + (hi_ - lo_) * s;
+    }
+  }
+  return u;
+}
+
+double Transform::toInternal(double x) const noexcept {
+  switch (kind_) {
+    case Kind::Identity: return x;
+    case Kind::Log: return std::log(std::max(x - lo_, kTiny));
+    case Kind::Logistic: {
+      const double w = (hi_ - lo_);
+      double s = (x - lo_) / w;
+      s = std::clamp(s, kTiny, 1.0 - kTiny);
+      return std::log(s / (1.0 - s));
+    }
+  }
+  return x;
+}
+
+std::pair<double, double> simplex2ToExternal(double u, double v) noexcept {
+  // Subtract the max exponent for overflow safety.
+  const double m = std::max({0.0, u, v});
+  const double eu = std::exp(u - m), ev = std::exp(v - m), e0 = std::exp(-m);
+  const double denom = e0 + eu + ev;
+  return {eu / denom, ev / denom};
+}
+
+std::pair<double, double> simplex2ToInternal(double p0, double p1) noexcept {
+  p0 = std::max(p0, kTiny);
+  p1 = std::max(p1, kTiny);
+  const double rest = std::max(1.0 - p0 - p1, kTiny);
+  return {std::log(p0 / rest), std::log(p1 / rest)};
+}
+
+}  // namespace slim::opt

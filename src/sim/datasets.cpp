@@ -1,0 +1,64 @@
+#include "sim/datasets.hpp"
+
+#include "support/require.hpp"
+
+namespace slim::sim {
+
+const std::vector<PaperDatasetSpec>& paperDatasetSpecs() {
+  static const std::vector<PaperDatasetSpec> specs = {
+      {PaperDatasetId::I, "i", "small species count / average length", 7, 299},
+      {PaperDatasetId::II, "ii", "small species count / very long", 6, 5004},
+      {PaperDatasetId::III, "iii", "average species count / short", 25, 67},
+      {PaperDatasetId::IV, "iv", "large species count / short", 95, 39},
+  };
+  return specs;
+}
+
+model::BranchSiteParams defaultSimulationParams() {
+  model::BranchSiteParams p;
+  p.kappa = 2.5;
+  p.omega0 = 0.08;
+  p.omega2 = 2.5;
+  p.p0 = 0.50;
+  p.p1 = 0.35;
+  return p;
+}
+
+namespace {
+
+Dataset makeDataset(std::string name, int numSpecies, int numCodons,
+                    std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = std::move(name);
+  ds.trueParams = defaultSimulationParams();
+  ds.tree = yuleTree(numSpecies, rng);
+  pickForegroundBranch(ds.tree, rng);
+
+  const auto& gc = bio::GeneticCode::universal();
+  const auto pi = randomCodonFrequencies(gc.numSense(), /*alpha=*/5, rng);
+  auto sim = evolveBranchSite(gc, ds.tree, ds.trueParams,
+                              model::Hypothesis::H1, numCodons, pi, rng);
+  ds.alignment = std::move(sim.alignment);
+  ds.trueSiteClasses = std::move(sim.siteClasses);
+  return ds;
+}
+
+}  // namespace
+
+Dataset makePaperDataset(PaperDatasetId id, std::uint64_t seed) {
+  for (const auto& spec : paperDatasetSpecs())
+    if (spec.id == id)
+      return makeDataset(std::string("dataset-") + spec.label,
+                         spec.numSpecies, spec.numCodons, seed);
+  SLIM_REQUIRE(false, "unknown dataset id");
+  return {};
+}
+
+Dataset makeSweepDataset(int numSpecies, std::uint64_t seed, int numCodons) {
+  SLIM_REQUIRE(numSpecies >= 2, "sweep needs at least 2 species");
+  return makeDataset("sweep-" + std::to_string(numSpecies) + "sp",
+                     numSpecies, numCodons, seed);
+}
+
+}  // namespace slim::sim

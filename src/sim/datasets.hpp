@@ -1,0 +1,52 @@
+#pragma once
+// Synthetic stand-ins for the four Ensembl/Selectome evaluation datasets of
+// Table II.  The originals are gene-family alignments that are not bundled
+// here; what the paper's runtime evaluation depends on is their *shape*
+// (species count x codon count), which these generators match exactly.
+// See DESIGN.md §2 for the substitution rationale.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/branch_site.hpp"
+#include "sim/evolver.hpp"
+#include "sim/random_tree.hpp"
+#include "tree/tree.hpp"
+
+namespace slim::sim {
+
+/// The four dataset shapes of Table II.
+enum class PaperDatasetId { I, II, III, IV };
+
+struct PaperDatasetSpec {
+  PaperDatasetId id;
+  const char* label;        ///< "i".."iv" as printed in the paper's tables.
+  const char* description;  ///< The regime the dataset represents (Sec. IV).
+  int numSpecies;
+  int numCodons;
+};
+
+/// Table II shapes: i = 7x299, ii = 6x5004, iii = 25x67, iv = 95x39.
+const std::vector<PaperDatasetSpec>& paperDatasetSpecs();
+
+struct Dataset {
+  std::string name;
+  tree::Tree tree;               ///< Foreground branch marked (#1).
+  seqio::Alignment alignment;    ///< Nucleotide MSA.
+  std::vector<int> trueSiteClasses;
+  model::BranchSiteParams trueParams;
+};
+
+/// Simulation parameters used for all synthetic datasets (H1 with genuine
+/// positive selection so both hypotheses are exercised meaningfully).
+model::BranchSiteParams defaultSimulationParams();
+
+/// Generate the synthetic dataset of the given Table II shape.
+Dataset makePaperDataset(PaperDatasetId id, std::uint64_t seed);
+
+/// Dataset-iv-like data with a configurable species count: the Fig. 3
+/// species sweep (15..95 species, 39 codons).
+Dataset makeSweepDataset(int numSpecies, std::uint64_t seed, int numCodons = 39);
+
+}  // namespace slim::sim

@@ -1,0 +1,52 @@
+#pragma once
+// Branch-site sequence evolution (an "evolver" in PAML terms): generates
+// codon alignments along a tree under branch-site model A, providing the
+// synthetic stand-ins for the Selectome datasets of Table II.
+//
+// Per site: a site class is drawn from the Table I proportions; the root
+// codon is drawn from pi; each branch then transitions the parent codon
+// through P(t) of the omega class that Table I assigns to (site class,
+// background/foreground).
+
+#include <span>
+#include <vector>
+
+#include "bio/genetic_code.hpp"
+#include "model/branch_site.hpp"
+#include "model/site_mixture.hpp"
+#include "seqio/alignment.hpp"
+#include "sim/rng.hpp"
+#include "tree/tree.hpp"
+
+namespace slim::sim {
+
+struct SimulatedAlignment {
+  seqio::Alignment alignment;    ///< Nucleotide MSA (3*numCodons columns).
+  std::vector<int> siteClasses;  ///< True site class (0..3) per codon site.
+};
+
+/// Evolve numCodons codon sites over the tree under an arbitrary omega-class
+/// mixture (model/site_mixture.hpp).  A foreground mark is only required
+/// when the spec distinguishes foreground from background.  pi are the
+/// equilibrium codon frequencies used both for the root draw and the
+/// substitution model.
+SimulatedAlignment evolveMixture(const bio::GeneticCode& gc,
+                                 const tree::Tree& tree,
+                                 const model::MixtureSpec& spec,
+                                 int numCodons, std::span<const double> pi,
+                                 Rng& rng);
+
+/// Evolve under branch-site model A (the tree must carry exactly one
+/// foreground mark).  Convenience wrapper over evolveMixture.
+SimulatedAlignment evolveBranchSite(const bio::GeneticCode& gc,
+                                    const tree::Tree& tree,
+                                    const model::BranchSiteParams& params,
+                                    model::Hypothesis hypothesis,
+                                    int numCodons, std::span<const double> pi,
+                                    Rng& rng);
+
+/// Dirichlet(alpha,...,alpha) draw over numSense codon frequencies — mildly
+/// non-uniform equilibrium frequencies for realistic synthetic data.
+std::vector<double> randomCodonFrequencies(int numSense, int alpha, Rng& rng);
+
+}  // namespace slim::sim

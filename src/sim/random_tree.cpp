@@ -1,0 +1,55 @@
+#include "sim/random_tree.hpp"
+
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace slim::sim {
+
+tree::Tree yuleTree(int numLeaves, Rng& rng, const RandomTreeOptions& options) {
+  SLIM_REQUIRE(numLeaves >= 2, "a tree needs at least 2 leaves");
+  SLIM_REQUIRE(options.minBranchLength >= 0 &&
+                   options.maxBranchLength >= options.minBranchLength,
+               "invalid branch length range");
+
+  auto drawLength = [&]() {
+    return rng.uniform(options.minBranchLength, options.maxBranchLength);
+  };
+
+  tree::Tree t;
+  const int root = t.addNode(tree::kNoParent, "", 0.0);
+  std::vector<int> activeLeaves;
+  activeLeaves.push_back(t.addNode(root, "", drawLength()));
+  activeLeaves.push_back(t.addNode(root, "", drawLength()));
+
+  while (static_cast<int>(activeLeaves.size()) < numLeaves) {
+    const int pick = rng.uniformInt(static_cast<int>(activeLeaves.size()));
+    const int parent = activeLeaves[pick];
+    const int left = t.addNode(parent, "", drawLength());
+    const int right = t.addNode(parent, "", drawLength());
+    activeLeaves[pick] = left;
+    activeLeaves.push_back(right);
+  }
+
+  for (std::size_t i = 0; i < activeLeaves.size(); ++i)
+    t.setLabel(activeLeaves[i], "t" + std::to_string(i + 1));
+
+  t.finalize();
+  t.validate();
+  return t;
+}
+
+int pickForegroundBranch(tree::Tree& t, Rng& rng) {
+  std::vector<int> internal, leaf;
+  for (int id : t.postOrder()) {
+    if (id == t.root()) continue;
+    (t.node(id).isLeaf() ? leaf : internal).push_back(id);
+  }
+  const auto& pool = internal.empty() ? leaf : internal;
+  SLIM_REQUIRE(!pool.empty(), "tree has no branches");
+  const int chosen = pool[rng.uniformInt(static_cast<int>(pool.size()))];
+  t.setForegroundBranch(chosen);
+  return chosen;
+}
+
+}  // namespace slim::sim

@@ -1,0 +1,26 @@
+#pragma once
+// Random phylogenies for synthetic datasets (substituting the Ensembl trees
+// of Table II, which are not redistributable here; see DESIGN.md §2).
+
+#include "sim/rng.hpp"
+#include "tree/tree.hpp"
+
+namespace slim::sim {
+
+struct RandomTreeOptions {
+  /// Branch lengths drawn uniformly from [minBranchLength, maxBranchLength]
+  /// (expected substitutions per codon; Selectome-scale defaults).
+  double minBranchLength = 0.02;
+  double maxBranchLength = 0.30;
+};
+
+/// Yule (pure-birth) topology with numLeaves leaves: starting from a root
+/// bifurcation, a uniformly random current leaf is repeatedly split.  Leaves
+/// are labeled "t1".."tN".  No branch is marked; see pickForegroundBranch.
+tree::Tree yuleTree(int numLeaves, Rng& rng, const RandomTreeOptions& options = {});
+
+/// Choose and mark a foreground branch: an internal (non-root) branch when
+/// one exists, otherwise a leaf branch.  Returns the marked node index.
+int pickForegroundBranch(tree::Tree& tree, Rng& rng);
+
+}  // namespace slim::sim

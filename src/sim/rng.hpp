@@ -1,0 +1,45 @@
+#pragma once
+// Deterministic random number generation for simulations and benches.
+//
+// The paper fixes the RNG seed "to generate comparable and reproducible
+// results" (Sec. IV); every stochastic component of this library takes an
+// explicit 64-bit seed for the same reason.  xoshiro256** (Blackman & Vigna)
+// seeded through splitmix64.
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace slim::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  std::uint64_t nextU64() noexcept;
+
+  /// Uniform double in [0, 1) with 53-bit resolution.
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Gamma(shape k) for integer k >= 1, scale 1 (sum of exponentials;
+  /// adequate for the Dirichlet frequency sampler).
+  double gammaInteger(int k) noexcept;
+
+  /// Index sampled from an unnormalized weight vector (all weights >= 0,
+  /// at least one > 0).
+  int categorical(std::span<const double> weights) noexcept;
+
+  /// Uniform integer in [0, n).
+  int uniformInt(int n) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace slim::sim

@@ -1,0 +1,101 @@
+#include "stat/special_functions.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/require.hpp"
+
+namespace slim::stat {
+
+namespace {
+
+constexpr int kMaxIter = 500;
+constexpr double kEps = 1e-15;
+
+// Series representation: P(a,x) = e^{-x} x^a / Gamma(a) * sum x^n / (a)_n+1.
+// Converges fast for x < a + 1.
+double gammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIter; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued fraction for Q(a,x) via modified Lentz; converges for x > a + 1.
+double gammaQContinuedFraction(double a, double x) {
+  constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIter; ++i) {
+    const double an = -static_cast<double>(i) * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double regularizedGammaP(double a, double x) {
+  SLIM_REQUIRE(a > 0.0, "regularizedGammaP: a must be > 0");
+  SLIM_REQUIRE(x >= 0.0, "regularizedGammaP: x must be >= 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gammaPSeries(a, x);
+  return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double regularizedGammaQ(double a, double x) {
+  SLIM_REQUIRE(a > 0.0, "regularizedGammaQ: a must be > 0");
+  SLIM_REQUIRE(x >= 0.0, "regularizedGammaQ: x must be >= 0");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gammaPSeries(a, x);
+  return gammaQContinuedFraction(a, x);
+}
+
+double chi2Cdf(double x, double k) {
+  SLIM_REQUIRE(k > 0.0, "chi2: degrees of freedom must be > 0");
+  if (x <= 0.0) return 0.0;
+  return regularizedGammaP(0.5 * k, 0.5 * x);
+}
+
+double chi2Sf(double x, double k) {
+  SLIM_REQUIRE(k > 0.0, "chi2: degrees of freedom must be > 0");
+  if (x <= 0.0) return 1.0;
+  return regularizedGammaQ(0.5 * k, 0.5 * x);
+}
+
+double chi2Quantile(double p, double k) {
+  SLIM_REQUIRE(p >= 0.0 && p < 1.0, "chi2Quantile: p must be in [0,1)");
+  if (p == 0.0) return 0.0;
+  double lo = 0.0, hi = 1.0;
+  while (chi2Cdf(hi, k) < p) {
+    hi *= 2.0;
+    SLIM_REQUIRE(hi < 1e12, "chi2Quantile: p too close to 1");
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (chi2Cdf(mid, k) < p)
+      lo = mid;
+    else
+      hi = mid;
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace slim::stat

@@ -1,0 +1,25 @@
+#pragma once
+// Special functions needed for the likelihood-ratio test: the regularized
+// incomplete gamma function and the chi-square distribution built on it.
+// Implemented from the standard series / continued-fraction expansions
+// (Abramowitz & Stegun 6.5; modified Lentz for the continued fraction).
+
+namespace slim::stat {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x) / Gamma(a).
+/// Domain: a > 0, x >= 0.
+double regularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double regularizedGammaQ(double a, double x);
+
+/// Chi-square CDF with k degrees of freedom, k > 0 (may be fractional).
+double chi2Cdf(double x, double k);
+
+/// Chi-square survival function 1 - CDF (the p-value tail).
+double chi2Sf(double x, double k);
+
+/// Chi-square quantile by bisection: smallest x with CDF(x) >= p.
+double chi2Quantile(double p, double k);
+
+}  // namespace slim::stat

@@ -1,0 +1,24 @@
+#pragma once
+// Lightweight precondition checking shared by all slimcodeml modules.
+//
+// SLIM_REQUIRE is used for conditions that depend on caller input (file
+// contents, user parameters, dimensions) and therefore must stay active in
+// release builds; violations throw std::invalid_argument with location info.
+
+#include <stdexcept>
+#include <string>
+
+namespace slim {
+
+[[noreturn]] inline void requireFail(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": requirement failed (" + cond + "): " + msg);
+}
+
+}  // namespace slim
+
+#define SLIM_REQUIRE(cond, msg)                                  \
+  do {                                                           \
+    if (!(cond)) ::slim::requireFail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,191 @@
+// Tests for the CodeML-style control-file parser and the file-driven
+// analysis entry point.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/config.hpp"
+
+namespace slim::core {
+namespace {
+
+TEST(ConfigParse, FullFile) {
+  const auto cfg = Config::parseString(R"(
+      * a comment
+      seqfile  = gene.fasta
+      treefile = gene.nwk    * trailing comment
+      outfile  = out.txt
+      engine   = codeml
+      CodonFreq = 3
+      maxIterations = 123
+      kappa = 3.5
+      omega0 = 0.2
+      omega2 = 4.0
+      p0 = 0.5
+      p1 = 0.25
+      cleandata = 1
+      seed = 99
+  )");
+  EXPECT_EQ(cfg.seqfile, "gene.fasta");
+  EXPECT_EQ(cfg.treefile, "gene.nwk");
+  EXPECT_EQ(cfg.outfile, "out.txt");
+  EXPECT_EQ(cfg.engine, EngineKind::CodemlBaseline);
+  EXPECT_EQ(cfg.fit.frequencyModel, model::CodonFrequencyModel::F61);
+  EXPECT_EQ(cfg.fit.bfgs.maxIterations, 123);
+  EXPECT_DOUBLE_EQ(cfg.fit.initialParams.kappa, 3.5);
+  EXPECT_DOUBLE_EQ(cfg.fit.initialParams.omega0, 0.2);
+  EXPECT_DOUBLE_EQ(cfg.fit.initialParams.omega2, 4.0);
+  EXPECT_DOUBLE_EQ(cfg.fit.initialParams.p0, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.fit.initialParams.p1, 0.25);
+  EXPECT_TRUE(cfg.stopCodonsAsMissing);
+  EXPECT_EQ(cfg.fit.startJitterSeed, 99u);
+}
+
+TEST(ConfigParse, DefaultsApplied) {
+  const auto cfg =
+      Config::parseString("seqfile = a.fa\ntreefile = a.nwk\n");
+  EXPECT_EQ(cfg.engine, EngineKind::Slim);
+  EXPECT_EQ(cfg.fit.frequencyModel, model::CodonFrequencyModel::F3x4);
+  EXPECT_TRUE(cfg.outfile.empty());
+  EXPECT_FALSE(cfg.stopCodonsAsMissing);
+}
+
+TEST(ConfigParse, Errors) {
+  // Missing required keys.
+  EXPECT_THROW(Config::parseString("treefile = t.nwk\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Config::parseString("seqfile = s.fa\n"),
+               std::invalid_argument);
+  // Unknown key.
+  EXPECT_THROW(Config::parseString(
+                   "seqfile = s\ntreefile = t\nbogus = 1\n"),
+               std::invalid_argument);
+  // Malformed lines and values.
+  EXPECT_THROW(Config::parseString("seqfile\n"), std::invalid_argument);
+  EXPECT_THROW(Config::parseString(
+                   "seqfile = s\ntreefile = t\nkappa = abc\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Config::parseString(
+                   "seqfile = s\ntreefile = t\nCodonFreq = 7\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Config::parseString(
+                   "seqfile = s\ntreefile = t\nengine = fast\n"),
+               std::invalid_argument);
+  EXPECT_THROW(Config::parseString(
+                   "seqfile = s\ntreefile = t\nmaxIterations = 2.5\n"),
+               std::invalid_argument);
+}
+
+TEST(ConfigParse, ErrorMentionsLineNumber) {
+  try {
+    Config::parseString("seqfile = s\ntreefile = t\nbogus = 1\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+class ConfigRun : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) {
+    return testing::TempDir() + "slimcfg_" + name;
+  }
+  void write(const std::string& p, const std::string& text) {
+    std::ofstream out(p);
+    out << text;
+  }
+};
+
+TEST_F(ConfigRun, EndToEnd) {
+  const std::string fasta = path("gene.fasta");
+  const std::string nwk = path("gene.nwk");
+  const std::string out = path("out.txt");
+  const std::string ctl = path("run.ctl");
+  write(fasta,
+        ">a\nATGGCTAAATTTCCC\n>b\nATGGCTAAATTCCCC\n"
+        ">c\nATGGCAAAATTTCCG\n>d\nATGGTTAAGTTTCCA\n");
+  write(nwk, "((a:0.05,b:0.05) #1:0.03,(c:0.08,d:0.12):0.02);");
+  write(ctl, "seqfile = " + fasta + "\ntreefile = " + nwk +
+                 "\noutfile = " + out + "\nmaxIterations = 4\n");
+
+  const auto cfg = Config::parseFile(ctl);
+  const auto test = runFromConfig(cfg);
+  EXPECT_TRUE(std::isfinite(test.h0.lnL));
+  EXPECT_TRUE(std::isfinite(test.h1.lnL));
+
+  std::ifstream report(out);
+  ASSERT_TRUE(report.good());
+  std::string content((std::istreambuf_iterator<char>(report)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("LRT"), std::string::npos);
+  std::remove(fasta.c_str());
+  std::remove(nwk.c_str());
+  std::remove(out.c_str());
+  std::remove(ctl.c_str());
+}
+
+TEST_F(ConfigRun, PhylipInputDetected) {
+  const std::string phy = path("gene.phy");
+  const std::string nwk = path("gene2.nwk");
+  const std::string ctl = path("run2.ctl");
+  write(phy,
+        "3 9\na  ATGGCTAAA\nb  ATGGCTAAG\nc  ATGGCAAAA\n");
+  write(nwk, "(a:0.05,b:0.05,c:0.08 #1);");
+  write(ctl, "seqfile = " + phy + "\ntreefile = " + nwk +
+                 "\noutfile = -\nmaxIterations = 2\n");
+  const auto test = runFromConfig(Config::parseFile(ctl));
+  EXPECT_TRUE(std::isfinite(test.h1.lnL));
+  std::remove(phy.c_str());
+  std::remove(nwk.c_str());
+  std::remove(ctl.c_str());
+}
+
+TEST(ConfigParse, ModelSelection) {
+  const auto site = Config::parseString(
+      "seqfile = s\ntreefile = t\nmodel = site\n");
+  EXPECT_EQ(site.analysis, AnalysisKind::Site);
+  const auto bs = Config::parseString(
+      "seqfile = s\ntreefile = t\nmodel = branch-site\n");
+  EXPECT_EQ(bs.analysis, AnalysisKind::BranchSite);
+  EXPECT_THROW(
+      Config::parseString("seqfile = s\ntreefile = t\nmodel = M8\n"),
+      std::invalid_argument);
+}
+
+TEST_F(ConfigRun, SiteModelEndToEnd) {
+  const std::string fasta = path("sgene.fasta");
+  const std::string nwk = path("sgene.nwk");
+  const std::string ctl = path("srun.ctl");
+  write(fasta,
+        ">a\nATGGCTAAATTTCCC\n>b\nATGGCTAAATTCCCC\n"
+        ">c\nATGGCAAAATTTCCG\n>d\nATGGTTAAGTTTCCA\n");
+  // No #1 mark required for site models.
+  write(nwk, "((a:0.05,b:0.05):0.03,(c:0.08,d:0.12):0.02);");
+  write(ctl, "seqfile = " + fasta + "\ntreefile = " + nwk +
+                 "\nmodel = site\noutfile = -\nmaxIterations = 3\n");
+  const auto cfg = Config::parseFile(ctl);
+  const auto test = runSiteModelFromConfig(cfg);
+  EXPECT_TRUE(std::isfinite(test.m1a.lnL));
+  EXPECT_TRUE(std::isfinite(test.m2a.lnL));
+  EXPECT_DOUBLE_EQ(test.lrt.df, 2.0);
+  // Kind mismatch is rejected on both entry points.
+  EXPECT_THROW(runFromConfig(cfg), std::invalid_argument);
+  std::remove(fasta.c_str());
+  std::remove(nwk.c_str());
+  std::remove(ctl.c_str());
+}
+
+TEST_F(ConfigRun, MissingFilesRaise) {
+  EXPECT_THROW(Config::parseFile(path("nonexistent.ctl")),
+               std::invalid_argument);
+  Config cfg;
+  cfg.seqfile = path("missing.fa");
+  cfg.treefile = path("missing.nwk");
+  EXPECT_THROW(runFromConfig(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace slim::core

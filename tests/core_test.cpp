@@ -1,0 +1,189 @@
+// Tests for the top-level analysis API: parameter packing, fitting, LRT
+// plumbing and report output.  Fits here use tiny datasets and tight
+// iteration caps to stay fast; the statistically meaningful end-to-end
+// scenarios live in integration_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/analysis.hpp"
+#include "core/report.hpp"
+#include "sim/datasets.hpp"
+
+namespace slim::core {
+namespace {
+
+using model::Hypothesis;
+
+struct SmallCase {
+  seqio::CodonAlignment alignment;
+  tree::Tree tree;
+};
+
+SmallCase makeSmallCase() {
+  // 5 species, 30 codons, simulated with positive selection.
+  sim::Rng rng(2024);
+  auto tree = sim::yuleTree(5, rng);
+  sim::pickForegroundBranch(tree, rng);
+  const auto& gc = bio::GeneticCode::universal();
+  const auto pi = sim::randomCodonFrequencies(gc.numSense(), 5, rng);
+  const auto simOut =
+      sim::evolveBranchSite(gc, tree, sim::defaultSimulationParams(),
+                            Hypothesis::H1, 30, pi, rng);
+  return {seqio::encodeCodons(simOut.alignment, gc), std::move(tree)};
+}
+
+FitOptions quickOptions(int maxIter = 8) {
+  FitOptions o;
+  o.bfgs.maxIterations = maxIter;
+  return o;
+}
+
+TEST(Engine, NamesAndOptionsPresets) {
+  EXPECT_STREQ(engineName(EngineKind::CodemlBaseline), "CodeML");
+  EXPECT_STREQ(engineName(EngineKind::Slim), "SlimCodeML");
+  const auto base = engineOptions(EngineKind::CodemlBaseline);
+  EXPECT_EQ(base.flavor, linalg::Flavor::Naive);
+  EXPECT_EQ(base.reconstruction, expm::ReconstructionPath::Gemm);
+  EXPECT_EQ(base.propagation, lik::PropagationStrategy::PerSiteGemv);
+  const auto slim = engineOptions(EngineKind::Slim);
+  EXPECT_EQ(slim.flavor, linalg::Flavor::Opt);
+  EXPECT_EQ(slim.reconstruction, expm::ReconstructionPath::Syrk);
+  EXPECT_EQ(slim.propagation, lik::PropagationStrategy::BundledGemm);
+}
+
+TEST(Fit, ImprovesOverStartAndRespectsCap) {
+  const auto sc = makeSmallCase();
+  BranchSiteAnalysis analysis(sc.alignment, sc.tree, EngineKind::Slim,
+                              quickOptions(5));
+  const auto fit = analysis.fit(Hypothesis::H0);
+  EXPECT_TRUE(std::isfinite(fit.lnL));
+  EXPECT_LT(fit.lnL, 0.0);
+  EXPECT_LE(fit.iterations, 5);
+  EXPECT_GT(fit.functionEvaluations, 0);
+  EXPECT_GT(fit.seconds, 0.0);
+  EXPECT_EQ(fit.hypothesis, Hypothesis::H0);
+  // Fitted parameters respect their domains.
+  EXPECT_GT(fit.params.kappa, 0.0);
+  EXPECT_GT(fit.params.omega0, 0.0);
+  EXPECT_LT(fit.params.omega0, 1.0);
+  EXPECT_DOUBLE_EQ(fit.params.omega2, 1.0);  // H0 pins omega2
+  EXPECT_GT(fit.params.p0, 0.0);
+  EXPECT_LT(fit.params.p0 + fit.params.p1, 1.0);
+  for (double t : fit.branchLengths) EXPECT_GE(t, 0.0);
+  EXPECT_EQ(fit.branchLengths.size(), 8u);  // 2*5 - 2 branches
+}
+
+TEST(Fit, H1EstimatesOmega2AboveOne) {
+  const auto sc = makeSmallCase();
+  BranchSiteAnalysis analysis(sc.alignment, sc.tree, EngineKind::Slim,
+                              quickOptions(5));
+  const auto fit = analysis.fit(Hypothesis::H1);
+  EXPECT_GE(fit.params.omega2, 1.0);
+  EXPECT_EQ(fit.hypothesis, Hypothesis::H1);
+}
+
+TEST(Fit, MoreIterationsNeverWorse) {
+  const auto sc = makeSmallCase();
+  BranchSiteAnalysis a2(sc.alignment, sc.tree, EngineKind::Slim,
+                        quickOptions(2));
+  BranchSiteAnalysis a10(sc.alignment, sc.tree, EngineKind::Slim,
+                         quickOptions(10));
+  const double l2 = a2.fit(Hypothesis::H0).lnL;
+  const double l10 = a10.fit(Hypothesis::H0).lnL;
+  EXPECT_GE(l10, l2 - 1e-9);
+}
+
+TEST(Fit, DeterministicAcrossRuns) {
+  const auto sc = makeSmallCase();
+  BranchSiteAnalysis a(sc.alignment, sc.tree, EngineKind::Slim,
+                       quickOptions(4));
+  BranchSiteAnalysis b(sc.alignment, sc.tree, EngineKind::Slim,
+                       quickOptions(4));
+  EXPECT_DOUBLE_EQ(a.fit(Hypothesis::H0).lnL, b.fit(Hypothesis::H0).lnL);
+}
+
+TEST(Fit, JitterSeedChangesStartButStaysFeasible) {
+  const auto sc = makeSmallCase();
+  auto opts = quickOptions(3);
+  opts.startJitterSeed = 7;
+  BranchSiteAnalysis a(sc.alignment, sc.tree, EngineKind::Slim, opts);
+  opts.startJitterSeed = 8;
+  BranchSiteAnalysis b(sc.alignment, sc.tree, EngineKind::Slim, opts);
+  const double la = a.fit(Hypothesis::H0).lnL;
+  const double lb = b.fit(Hypothesis::H0).lnL;
+  EXPECT_TRUE(std::isfinite(la));
+  EXPECT_TRUE(std::isfinite(lb));
+  // Different jitter, (almost surely) different trajectories.
+  EXPECT_NE(la, lb);
+}
+
+TEST(Fit, InitialBranchLengthOverride) {
+  const auto sc = makeSmallCase();
+  auto opts = quickOptions(0);  // 0 iterations: report the start point
+  opts.bfgs.maxIterations = 0;
+  opts.useTreeBranchLengths = false;
+  opts.initialBranchLength = 0.2;
+  BranchSiteAnalysis analysis(sc.alignment, sc.tree, EngineKind::Slim, opts);
+  const auto fit = analysis.fit(Hypothesis::H0);
+  for (double t : fit.branchLengths) EXPECT_NEAR(t, 0.2, 1e-9);
+}
+
+TEST(Run, ProducesCoherentTest) {
+  const auto sc = makeSmallCase();
+  BranchSiteAnalysis analysis(sc.alignment, sc.tree, EngineKind::Slim,
+                              quickOptions(6));
+  const auto test = analysis.run();
+  // Nested models: H1 at least as good (same start, same optimizer family).
+  EXPECT_GE(test.h1.lnL, test.h0.lnL - 1e-6);
+  EXPECT_GE(test.lrt.statistic, 0.0);
+  EXPECT_LE(test.lrt.pChi2, 1.0);
+  EXPECT_GE(test.lrt.pChi2, 0.0);
+  EXPECT_NEAR(test.lrt.statistic, 2.0 * (test.h1.lnL - test.h0.lnL), 1e-9);
+  EXPECT_NEAR(test.totalSeconds, test.h0.seconds + test.h1.seconds, 1e-9);
+  // Posteriors expanded to all 30 sites.
+  EXPECT_EQ(test.posteriors.positiveSelectionBySite.size(), 30u);
+}
+
+TEST(Analysis, PiComesFromRequestedModel) {
+  const auto sc = makeSmallCase();
+  FitOptions equal = quickOptions();
+  equal.frequencyModel = model::CodonFrequencyModel::Equal;
+  BranchSiteAnalysis a(sc.alignment, sc.tree, EngineKind::Slim, equal);
+  for (double f : a.pi()) EXPECT_DOUBLE_EQ(f, 1.0 / 61.0);
+
+  BranchSiteAnalysis b(sc.alignment, sc.tree, EngineKind::Slim,
+                       quickOptions());
+  double maxDiff = 0;
+  for (double f : b.pi()) maxDiff = std::max(maxDiff, std::fabs(f - 1.0 / 61));
+  EXPECT_GT(maxDiff, 1e-4);  // F3x4 on real-ish data is not uniform
+}
+
+TEST(Report, ContainsKeySections) {
+  const auto sc = makeSmallCase();
+  BranchSiteAnalysis analysis(sc.alignment, sc.tree, EngineKind::Slim,
+                              quickOptions(3));
+  const auto test = analysis.run();
+  const std::string report = testReportString(test, EngineKind::Slim);
+  EXPECT_NE(report.find("SlimCodeML"), std::string::npos);
+  EXPECT_NE(report.find("H0"), std::string::npos);
+  EXPECT_NE(report.find("H1"), std::string::npos);
+  EXPECT_NE(report.find("LRT"), std::string::npos);
+  EXPECT_NE(report.find("kappa"), std::string::npos);
+  EXPECT_NE(report.find("omega2"), std::string::npos);
+}
+
+TEST(Report, FitReportMentionsConvergenceState) {
+  const auto sc = makeSmallCase();
+  BranchSiteAnalysis analysis(sc.alignment, sc.tree, EngineKind::Slim,
+                              quickOptions(1));
+  const auto fit = analysis.fit(Hypothesis::H0);
+  std::ostringstream os;
+  writeFitReport(os, fit);
+  EXPECT_NE(os.str().find("iterations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace slim::core

@@ -1,0 +1,137 @@
+// Tests for the symmetric eigensolvers: known spectra, residual/orthogonality
+// properties over random matrices, and cross-validation of the QL solver
+// against the independently-implemented Jacobi solver.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "eigenx/sym_eigen.hpp"
+#include "test_util.hpp"
+
+namespace slim::eigenx {
+namespace {
+
+using linalg::Matrix;
+using testutil::randomSymmetric;
+
+TEST(SymEigen, DiagonalMatrix) {
+  const double d[] = {3.0, -1.0, 2.0};
+  const auto r = symEigen(Matrix::diagonal({d, 3}));
+  ASSERT_EQ(r.values.size(), 3u);
+  EXPECT_NEAR(r.values[0], -1.0, 1e-14);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-14);
+  EXPECT_NEAR(r.values[2], 3.0, 1e-14);
+}
+
+TEST(SymEigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const auto r = symEigen(Matrix::fromRows({{2, 1}, {1, 2}}));
+  EXPECT_NEAR(r.values[0], 1.0, 1e-14);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-14);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(r.vectors(0, 1)), std::sqrt(0.5), 1e-12);
+}
+
+TEST(SymEigen, OneByOne) {
+  const auto r = symEigen(Matrix::fromRows({{7.0}}));
+  EXPECT_NEAR(r.values[0], 7.0, 1e-15);
+  EXPECT_NEAR(std::fabs(r.vectors(0, 0)), 1.0, 1e-15);
+}
+
+TEST(SymEigen, RejectsNonSquare) {
+  EXPECT_THROW(symEigen(Matrix(2, 3)), std::invalid_argument);
+  EXPECT_THROW(symEigen(Matrix(0, 0)), std::invalid_argument);
+}
+
+TEST(SymEigen, UsesLowerTriangleOnly) {
+  // Upper triangle deliberately poisoned; contract is uplo='L'.
+  Matrix a = Matrix::fromRows({{2, 999}, {1, 2}});
+  const auto r = symEigen(a);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-12);
+}
+
+TEST(SymEigen, TraceAndValuesSumAgree) {
+  const Matrix a = randomSymmetric(12, 42);
+  const auto r = symEigen(a);
+  double trace = 0, sum = 0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    trace += a(i, i);
+    sum += r.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-10);
+}
+
+class SymEigenProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SymEigenProperty, ResidualAndOrthogonality) {
+  const std::size_t n = GetParam();
+  for (unsigned seed : {1u, 17u, 33u}) {
+    const Matrix a = randomSymmetric(n, seed);
+    const auto r = symEigen(a);
+    EXPECT_LT(eigenResidual(a, r), 1e-11 * static_cast<double>(n))
+        << "n=" << n << " seed=" << seed;
+    EXPECT_LT(orthogonalityError(r.vectors), 1e-12 * static_cast<double>(n));
+    // Ascending order.
+    EXPECT_TRUE(std::is_sorted(r.values.begin(), r.values.end()));
+  }
+}
+
+TEST_P(SymEigenProperty, JacobiAgreesWithQl) {
+  const std::size_t n = GetParam();
+  const Matrix a = randomSymmetric(n, 7);
+  const auto ql = symEigen(a);
+  const auto jac = symEigenJacobi(a);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(ql.values[i], jac.values[i], 1e-9 * static_cast<double>(n))
+        << "eigenvalue " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymEigenProperty,
+                         ::testing::Values(2, 3, 5, 8, 13, 21, 34, 61));
+
+TEST(SymEigenJacobi, ResidualOnCodonSizedMatrix) {
+  const Matrix a = randomSymmetric(61, 99);
+  const auto r = symEigenJacobi(a);
+  EXPECT_LT(eigenResidual(a, r), 1e-9);
+  EXPECT_LT(orthogonalityError(r.vectors), 1e-10);
+}
+
+TEST(SymEigen, RepeatedEigenvalues) {
+  // Identity: eigenvalue 1 with multiplicity n; vectors stay orthonormal.
+  const auto r = symEigen(Matrix::identity(6));
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(r.values[i], 1.0, 1e-14);
+  EXPECT_LT(orthogonalityError(r.vectors), 1e-13);
+}
+
+TEST(SymEigen, RankOneMatrix) {
+  // v v^T with v = ones: eigenvalues {0,...,0, n}.
+  const std::size_t n = 5;
+  Matrix a(n, n, 1.0);
+  const auto r = symEigen(a);
+  for (std::size_t i = 0; i + 1 < n; ++i) EXPECT_NEAR(r.values[i], 0.0, 1e-12);
+  EXPECT_NEAR(r.values[n - 1], static_cast<double>(n), 1e-12);
+}
+
+TEST(SymEigen, NegativeDefinite) {
+  Matrix a = Matrix::fromRows({{-4, 1}, {1, -4}});
+  const auto r = symEigen(a);
+  EXPECT_NEAR(r.values[0], -5.0, 1e-13);
+  EXPECT_NEAR(r.values[1], -3.0, 1e-13);
+}
+
+TEST(SymEigen, ScalingInvariance) {
+  // eig(c*A) == c*eig(A) for c > 0.
+  const Matrix a = randomSymmetric(9, 3);
+  Matrix b = a;
+  for (std::size_t k = 0; k < b.size(); ++k) b.data()[k] *= 2.5;
+  const auto ra = symEigen(a);
+  const auto rb = symEigen(b);
+  for (std::size_t i = 0; i < 9; ++i)
+    EXPECT_NEAR(rb.values[i], 2.5 * ra.values[i], 1e-11);
+}
+
+}  // namespace
+}  // namespace slim::eigenx

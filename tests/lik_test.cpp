@@ -1,0 +1,360 @@
+// Tests for the branch-site likelihood engine.
+//
+// The decisive test validates the full pruning + mixture machinery against a
+// brute-force reference implemented here from scratch: transition matrices
+// via the Pade oracle (no eigendecomposition), pruning via a plain recursive
+// definition (no pattern bundling, no scaling, no caching).  Every engine
+// configuration (4 propagation strategies x 2 kernel flavors x 2
+// reconstruction paths) must agree with it — the in-vitro version of the
+// paper's accuracy experiment (Sec. IV-1).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <functional>
+
+#include "expm/pade.hpp"
+#include "lik/branch_site_likelihood.hpp"
+#include "model/codon_model.hpp"
+#include "test_util.hpp"
+
+namespace slim::lik {
+namespace {
+
+using linalg::Flavor;
+using linalg::Matrix;
+using model::BranchSiteParams;
+using model::Hypothesis;
+
+const bio::GeneticCode& gc() { return bio::GeneticCode::universal(); }
+
+struct Fixture {
+  seqio::CodonAlignment alignment;
+  seqio::SitePatterns patterns;
+  std::vector<double> pi;
+  tree::Tree tree;
+};
+
+Fixture makeFixture() {
+  Fixture f;
+  seqio::Alignment aln;
+  // 6 codon sites incl. a repeated column, a gap and an ambiguous codon.
+  aln.addSequence("a", "ATGAAATTTATGCCC---");
+  aln.addSequence("b", "ATGAAGTTCATGCCCGGA");
+  aln.addSequence("c", "ATGAAATTAATGCCAGGN");
+  aln.addSequence("d", "ATGAAATTTATGCCTGGA");
+  f.alignment = seqio::encodeCodons(aln, gc());
+  f.patterns = seqio::compressPatterns(f.alignment);
+  f.pi = testutil::randomFrequencies(gc().numSense(), 77);
+  f.tree = tree::Tree::parseNewick(
+      "((a:0.11,b:0.23) #1:0.17,(c:0.31,d:0.13):0.07);");
+  return f;
+}
+
+BranchSiteParams testParams() {
+  BranchSiteParams p;
+  p.kappa = 2.3;
+  p.omega0 = 0.15;
+  p.omega2 = 2.1;
+  p.p0 = 0.55;
+  p.p1 = 0.30;
+  return p;
+}
+
+// Brute-force reference: Pade transition matrices + plain recursion.
+double bruteForceLnL(const Fixture& f, const BranchSiteParams& params,
+                     Hypothesis hyp) {
+  const int n = gc().numSense();
+  const auto qset = model::buildBranchSiteQSet(gc(), f.pi, params, hyp);
+  const auto prop = model::siteClassProportions(params.p0, params.p1);
+
+  // P(t) per (branch node, omega class) via the Pade oracle.
+  std::vector<std::array<Matrix, model::kNumOmegaClasses>> pMat(
+      f.tree.numNodes());
+  for (int id : f.tree.branches()) {
+    for (int k = 0; k < model::kNumOmegaClasses; ++k) {
+      Matrix q(n, n);
+      model::buildRateMatrix(qset.scaledS[k], f.pi, q);
+      for (std::size_t x = 0; x < q.size(); ++x)
+        q.data()[x] *= f.tree.branchLength(id);
+      pMat[id][k] = expm::expmPade(q);
+    }
+  }
+
+  // Leaf row lookup by name.
+  auto leafRow = [&](int node) {
+    for (std::size_t s = 0; s < f.alignment.names.size(); ++s)
+      if (f.alignment.names[s] == f.tree.node(node).label)
+        return static_cast<int>(s);
+    ADD_FAILURE() << "leaf not found";
+    return -1;
+  };
+
+  double lnL = 0.0;
+  for (std::size_t h = 0; h < f.patterns.numPatterns(); ++h) {
+    double fh = 0.0;
+    for (int m = 0; m < model::kNumSiteClasses; ++m) {
+      std::function<std::vector<double>(int)> partial =
+          [&](int node) -> std::vector<double> {
+        if (f.tree.node(node).isLeaf()) {
+          std::vector<double> v(n, 0.0);
+          const int state = f.patterns.patterns[h][leafRow(node)];
+          if (state == seqio::kMissingState)
+            v.assign(n, 1.0);
+          else
+            v[state] = 1.0;
+          return v;
+        }
+        std::vector<double> v(n, 1.0);
+        for (int child : f.tree.node(node).children) {
+          const auto w = partial(child);
+          const int om =
+              model::omegaIndexFor(m, f.tree.node(child).mark != 0);
+          const Matrix& p = pMat[child][om];
+          for (int i = 0; i < n; ++i) {
+            double s = 0.0;
+            for (int j = 0; j < n; ++j) s += p(i, j) * w[j];
+            v[i] *= s;
+          }
+        }
+        return v;
+      };
+      const auto rootV = partial(f.tree.root());
+      double fmh = 0.0;
+      for (int i = 0; i < n; ++i) fmh += f.pi[i] * rootV[i];
+      fh += prop[m] * fmh;
+    }
+    lnL += f.patterns.weights[h] * std::log(fh);
+  }
+  return lnL;
+}
+
+// ---------- agreement with the brute-force reference ----------
+
+struct ConfigName {
+  template <class P>
+  std::string operator()(const ::testing::TestParamInfo<P>& info) const {
+    const auto& [strategy, flavor, path] = info.param;
+    std::string s = propagationStrategyName(strategy);
+    for (auto& c : s)
+      if (c == '-') c = '_';
+    return s + std::string("_") + linalg::flavorName(flavor) +
+           (path == expm::ReconstructionPath::Gemm ? "_gemm" : "_syrk");
+  }
+};
+
+class EngineConfig
+    : public ::testing::TestWithParam<std::tuple<
+          PropagationStrategy, Flavor, expm::ReconstructionPath>> {};
+
+TEST_P(EngineConfig, MatchesBruteForceH1) {
+  const auto [strategy, flavor, path] = GetParam();
+  const Fixture f = makeFixture();
+  LikelihoodOptions opts;
+  opts.propagation = strategy;
+  opts.flavor = flavor;
+  opts.reconstruction = path;
+  BranchSiteLikelihood eval(f.alignment, f.patterns, f.pi, f.tree,
+                            Hypothesis::H1, opts);
+  const double got = eval.logLikelihood(testParams());
+  const double want = bruteForceLnL(f, testParams(), Hypothesis::H1);
+  EXPECT_NEAR(got, want, 1e-8 * std::fabs(want));
+}
+
+TEST_P(EngineConfig, MatchesBruteForceH0) {
+  const auto [strategy, flavor, path] = GetParam();
+  const Fixture f = makeFixture();
+  LikelihoodOptions opts;
+  opts.propagation = strategy;
+  opts.flavor = flavor;
+  opts.reconstruction = path;
+  BranchSiteLikelihood eval(f.alignment, f.patterns, f.pi, f.tree,
+                            Hypothesis::H0, opts);
+  const double got = eval.logLikelihood(testParams());
+  const double want = bruteForceLnL(f, testParams(), Hypothesis::H0);
+  EXPECT_NEAR(got, want, 1e-8 * std::fabs(want));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, EngineConfig,
+    ::testing::Combine(::testing::Values(PropagationStrategy::PerSiteGemv,
+                                         PropagationStrategy::BundledGemm,
+                                         PropagationStrategy::SymmetricSymv,
+                                         PropagationStrategy::FactoredApply),
+                       ::testing::Values(Flavor::Naive, Flavor::Opt),
+                       ::testing::Values(expm::ReconstructionPath::Gemm,
+                                         expm::ReconstructionPath::Syrk)),
+    ConfigName{});
+
+// ---------- the paper's accuracy metric between the two presets ----------
+
+TEST(Accuracy, BaselineAndSlimAgreeToPaperPrecision) {
+  const Fixture f = makeFixture();
+  BranchSiteLikelihood baseline(f.alignment, f.patterns, f.pi, f.tree,
+                                Hypothesis::H1, codemlBaselineOptions());
+  BranchSiteLikelihood slim(f.alignment, f.patterns, f.pi, f.tree,
+                            Hypothesis::H1, slimOptions());
+  const double l0 = baseline.logLikelihood(testParams());
+  const double l1 = slim.logLikelihood(testParams());
+  // Paper Sec. IV-1: relative differences D between 0 and 5.5e-8.
+  const double d = std::fabs(l0 - l1) / std::fabs(l0);
+  EXPECT_LT(d, 1e-9);
+}
+
+// ---------- numerical scaling ----------
+
+TEST(Scaling, AggressiveThresholdLeavesLnLUnchanged) {
+  const Fixture f = makeFixture();
+  LikelihoodOptions normal = slimOptions();
+  LikelihoodOptions aggressive = slimOptions();
+  aggressive.scalingThreshold = 0.9;  // force rescaling at every node
+  BranchSiteLikelihood a(f.alignment, f.patterns, f.pi, f.tree,
+                         Hypothesis::H1, normal);
+  BranchSiteLikelihood b(f.alignment, f.patterns, f.pi, f.tree,
+                         Hypothesis::H1, aggressive);
+  const double la = a.logLikelihood(testParams());
+  const double lb = b.logLikelihood(testParams());
+  EXPECT_NEAR(la, lb, 1e-9 * std::fabs(la));
+}
+
+TEST(Scaling, DeepChainTreeDoesNotUnderflow) {
+  // A 60-taxon caterpillar: unscaled per-site likelihoods underflow badly.
+  std::string s = "(L0:0.2,L1:0.2)";
+  seqio::Alignment aln;
+  std::string codon = "ATG";
+  aln.addSequence("L0", codon);
+  aln.addSequence("L1", codon);
+  for (int i = 2; i < 60; ++i) {
+    s = "(" + s + ":0.2,L" + std::to_string(i) + ":0.2)";
+    aln.addSequence("L" + std::to_string(i), i % 3 == 0 ? "ATA" : "ATG");
+  }
+  auto t = tree::Tree::parseNewick(s + " ;");
+  t.setForegroundBranch(t.findLeaf("L5"));
+  const auto ca = seqio::encodeCodons(aln, gc());
+  const auto sp = seqio::compressPatterns(ca);
+  const auto pi = testutil::randomFrequencies(gc().numSense(), 3);
+  BranchSiteLikelihood eval(ca, sp, pi, t, Hypothesis::H1, slimOptions());
+  const double lnL = eval.logLikelihood(testParams());
+  EXPECT_TRUE(std::isfinite(lnL));
+  EXPECT_LT(lnL, 0.0);
+}
+
+// ---------- structural behaviour ----------
+
+TEST(BranchSiteLikelihoodTest, AllMissingColumnContributesZero) {
+  seqio::Alignment aln;
+  aln.addSequence("a", "ATG---");
+  aln.addSequence("b", "ATG---");
+  aln.addSequence("c", "ATG---");
+  const auto ca = seqio::encodeCodons(aln, gc());
+  const auto sp = seqio::compressPatterns(ca);
+  const auto pi = testutil::randomFrequencies(gc().numSense(), 5);
+  auto t = tree::Tree::parseNewick("(a:0.1,b:0.1,c:0.1);");
+  t.setForegroundBranch(t.findLeaf("a"));
+
+  BranchSiteLikelihood eval(ca, sp, pi, t, Hypothesis::H1, slimOptions());
+  const double both = eval.logLikelihood(testParams());
+
+  // Same data without the all-gap column.
+  seqio::Alignment aln2;
+  aln2.addSequence("a", "ATG");
+  aln2.addSequence("b", "ATG");
+  aln2.addSequence("c", "ATG");
+  const auto ca2 = seqio::encodeCodons(aln2, gc());
+  const auto sp2 = seqio::compressPatterns(ca2);
+  BranchSiteLikelihood eval2(ca2, sp2, pi, t, Hypothesis::H1, slimOptions());
+  EXPECT_NEAR(both, eval2.logLikelihood(testParams()), 1e-10);
+}
+
+TEST(BranchSiteLikelihoodTest, BranchLengthChangesLikelihood) {
+  const Fixture f = makeFixture();
+  BranchSiteLikelihood eval(f.alignment, f.patterns, f.pi, f.tree,
+                            Hypothesis::H1, slimOptions());
+  const double l1 = eval.logLikelihood(testParams());
+  eval.setBranchLength(0, eval.branchLength(0) + 0.4);
+  const double l2 = eval.logLikelihood(testParams());
+  EXPECT_NE(l1, l2);
+}
+
+TEST(BranchSiteLikelihoodTest, EigenCacheCountsDistinctOmegas) {
+  const Fixture f = makeFixture();
+  BranchSiteLikelihood h1(f.alignment, f.patterns, f.pi, f.tree,
+                          Hypothesis::H1, slimOptions());
+  h1.logLikelihood(testParams());
+  EXPECT_EQ(h1.counters().eigenDecompositions, 3);  // omega0, 1, omega2
+
+  BranchSiteLikelihood h0(f.alignment, f.patterns, f.pi, f.tree,
+                          Hypothesis::H0, slimOptions());
+  h0.logLikelihood(testParams());
+  EXPECT_EQ(h0.counters().eigenDecompositions, 2);  // omega2 == omega1 == 1
+
+  LikelihoodOptions noCache = slimOptions();
+  noCache.cacheEigenByOmega = false;
+  BranchSiteLikelihood h0nc(f.alignment, f.patterns, f.pi, f.tree,
+                            Hypothesis::H0, noCache);
+  h0nc.logLikelihood(testParams());
+  EXPECT_EQ(h0nc.counters().eigenDecompositions, 3);
+}
+
+TEST(BranchSiteLikelihoodTest, PropagatorBuildCountsPerEvaluation) {
+  const Fixture f = makeFixture();
+  BranchSiteLikelihood eval(f.alignment, f.patterns, f.pi, f.tree,
+                            Hypothesis::H1, slimOptions());
+  eval.logLikelihood(testParams());
+  // 6 branches; 5 background need {omega0, omega1}, the foreground needs
+  // {omega0, omega1, omega2}: 13 total.
+  EXPECT_EQ(eval.counters().propagatorBuilds, 13);
+}
+
+TEST(BranchSiteLikelihoodTest, RequiresForegroundMark) {
+  const Fixture f = makeFixture();
+  auto bare = tree::Tree::parseNewick(
+      "((a:0.11,b:0.23):0.17,(c:0.31,d:0.13):0.07);");
+  EXPECT_THROW(BranchSiteLikelihood(f.alignment, f.patterns, f.pi, bare,
+                                    Hypothesis::H1, slimOptions()),
+               std::invalid_argument);
+}
+
+TEST(BranchSiteLikelihoodTest, RejectsLeafMissingFromAlignment) {
+  const Fixture f = makeFixture();
+  auto t = tree::Tree::parseNewick(
+      "((a:0.1,zz:0.2) #1:0.1,(c:0.3,d:0.1):0.05);");
+  EXPECT_THROW(BranchSiteLikelihood(f.alignment, f.patterns, f.pi, t,
+                                    Hypothesis::H1, slimOptions()),
+               std::invalid_argument);
+}
+
+// ---------- posteriors ----------
+
+TEST(Posteriors, SumToOneAcrossClasses) {
+  const Fixture f = makeFixture();
+  BranchSiteLikelihood eval(f.alignment, f.patterns, f.pi, f.tree,
+                            Hypothesis::H1, slimOptions());
+  const auto post = eval.siteClassPosteriors(testParams());
+  for (std::size_t h = 0; h < f.patterns.numPatterns(); ++h) {
+    double total = 0;
+    for (int m = 0; m < model::kNumSiteClasses; ++m) {
+      EXPECT_GE(post.post[m][h], 0.0);
+      total += post.post[m][h];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+    EXPECT_NEAR(post.positiveSelection[h],
+                post.post[2][h] + post.post[3][h], 1e-12);
+  }
+}
+
+TEST(Posteriors, ExpandedToSites) {
+  const Fixture f = makeFixture();
+  BranchSiteLikelihood eval(f.alignment, f.patterns, f.pi, f.tree,
+                            Hypothesis::H1, slimOptions());
+  const auto post = eval.siteClassPosteriors(testParams());
+  ASSERT_EQ(post.positiveSelectionBySite.size(), f.alignment.numSites());
+  // Sites sharing a pattern share the posterior.
+  for (std::size_t i = 0; i < f.patterns.siteToPattern.size(); ++i)
+    EXPECT_DOUBLE_EQ(post.positiveSelectionBySite[i],
+                     post.positiveSelection[f.patterns.siteToPattern[i]]);
+}
+
+}  // namespace
+}  // namespace slim::lik

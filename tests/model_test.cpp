@@ -1,0 +1,267 @@
+// Tests for codon frequencies, the Eq. 1 rate matrix and branch-site model A
+// structure (Table I).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/branch_site.hpp"
+#include "model/codon_model.hpp"
+#include "model/frequencies.hpp"
+#include "seqio/alignment.hpp"
+
+namespace slim::model {
+namespace {
+
+using linalg::Matrix;
+
+const bio::GeneticCode& gc() { return bio::GeneticCode::universal(); }
+
+seqio::CodonAlignment smallAlignment() {
+  seqio::Alignment aln;
+  aln.addSequence("a", "ATGAAATTTCCCGGGATG");
+  aln.addSequence("b", "ATGAAGTTCCCCGGAATG");
+  return encodeCodons(aln, gc());
+}
+
+// ---------- frequencies ----------
+
+TEST(Frequencies, EqualModel) {
+  const auto pi = estimateCodonFrequencies(smallAlignment(),
+                                           CodonFrequencyModel::Equal);
+  ASSERT_EQ(pi.size(), 61u);
+  for (double f : pi) EXPECT_DOUBLE_EQ(f, 1.0 / 61.0);
+}
+
+class FrequencyModels
+    : public ::testing::TestWithParam<CodonFrequencyModel> {};
+
+TEST_P(FrequencyModels, PositiveAndNormalized) {
+  const auto pi = estimateCodonFrequencies(smallAlignment(), GetParam());
+  validateFrequencies(pi, 61);  // throws on violation
+  double total = 0;
+  for (double f : pi) {
+    EXPECT_GT(f, 0.0);
+    total += f;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, FrequencyModels,
+                         ::testing::Values(CodonFrequencyModel::Equal,
+                                           CodonFrequencyModel::F1x4,
+                                           CodonFrequencyModel::F3x4,
+                                           CodonFrequencyModel::F61));
+
+TEST(Frequencies, F61ReflectsCounts) {
+  const auto pi =
+      estimateCodonFrequencies(smallAlignment(), CodonFrequencyModel::F61);
+  const int atg = gc().senseIndex(*bio::codonFromString("ATG"));
+  const int ggg = gc().senseIndex(*bio::codonFromString("GGG"));
+  // ATG appears 4 times out of 12 codons, GGG once.
+  EXPECT_GT(pi[atg], pi[ggg]);
+  EXPECT_NEAR(pi[atg], 4.0 / 12.0, 1e-3);
+}
+
+TEST(Frequencies, F3x4UsesPositionSpecificComposition) {
+  const auto pi3 =
+      estimateCodonFrequencies(smallAlignment(), CodonFrequencyModel::F3x4);
+  const auto pi1 =
+      estimateCodonFrequencies(smallAlignment(), CodonFrequencyModel::F1x4);
+  // The two estimators must genuinely differ on asymmetric data.
+  double diff = 0;
+  for (std::size_t i = 0; i < pi3.size(); ++i)
+    diff = std::max(diff, std::fabs(pi3[i] - pi1[i]));
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(Frequencies, ValidatorRejectsBadInput) {
+  std::vector<double> pi(61, 1.0 / 61.0);
+  EXPECT_NO_THROW(validateFrequencies(pi, 61));
+  pi[0] = 0.0;
+  EXPECT_THROW(validateFrequencies(pi, 61), std::invalid_argument);
+  EXPECT_THROW(validateFrequencies(std::vector<double>(60, 1.0 / 60), 61),
+               std::invalid_argument);
+}
+
+// ---------- exchangeability / rate matrix ----------
+
+TEST(Exchangeability, StructureMatchesEq1) {
+  const int n = gc().numSense();
+  Matrix s(n, n);
+  const double kappa = 3.0, omega = 0.4;
+  buildExchangeability(gc(), kappa, omega, s);
+
+  // Spot checks against hand-classified pairs:
+  const auto idx = [&](const char* c) {
+    return gc().senseIndex(*bio::codonFromString(c));
+  };
+  // TTT->TTC: synonymous transition -> kappa.
+  EXPECT_DOUBLE_EQ(s(idx("TTT"), idx("TTC")), kappa);
+  // TTT->TTA: non-synonymous transversion -> omega.
+  EXPECT_DOUBLE_EQ(s(idx("TTT"), idx("TTA")), omega);
+  // ATG->ATA: non-synonymous transition -> kappa*omega.
+  EXPECT_DOUBLE_EQ(s(idx("ATG"), idx("ATA")), kappa * omega);
+  // GTT->GTA: synonymous transversion -> 1.
+  EXPECT_DOUBLE_EQ(s(idx("GTT"), idx("GTA")), 1.0);
+  // Two differences -> 0.
+  EXPECT_DOUBLE_EQ(s(idx("TTT"), idx("AAT")), 0.0);
+}
+
+TEST(Exchangeability, Symmetric) {
+  const int n = gc().numSense();
+  Matrix s(n, n);
+  buildExchangeability(gc(), 2.0, 0.5, s);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) EXPECT_DOUBLE_EQ(s(i, j), s(j, i));
+}
+
+TEST(Exchangeability, RejectsBadParameters) {
+  Matrix s(61, 61);
+  EXPECT_THROW(buildExchangeability(gc(), 0.0, 0.5, s),
+               std::invalid_argument);
+  EXPECT_THROW(buildExchangeability(gc(), 2.0, -0.1, s),
+               std::invalid_argument);
+  Matrix bad(60, 60);
+  EXPECT_THROW(buildExchangeability(gc(), 2.0, 0.5, bad),
+               std::invalid_argument);
+}
+
+TEST(RateMatrix, IsValidGenerator) {
+  const int n = gc().numSense();
+  std::vector<double> pi(n, 1.0 / n);
+  Matrix s(n, n), q(n, n);
+  buildExchangeability(gc(), 2.0, 0.3, s);
+  const double mu = buildRateMatrix(s, pi, q);
+  EXPECT_GT(mu, 0.0);
+  EXPECT_NO_THROW(validateGenerator(q, pi));
+  EXPECT_NEAR(expectedRate(q, pi), mu, 1e-12);
+}
+
+TEST(RateMatrix, ScalingNormalizesRate) {
+  const int n = gc().numSense();
+  std::vector<double> pi(n, 1.0 / n);
+  Matrix s(n, n), q(n, n);
+  buildExchangeability(gc(), 2.0, 0.3, s);
+  const double mu = buildRateMatrix(s, pi, q);
+  scaleRateMatrix(q, mu);
+  EXPECT_NEAR(expectedRate(q, pi), 1.0, 1e-12);
+}
+
+TEST(RateMatrix, OmegaZeroKillsNonSynonymousRates) {
+  const int n = gc().numSense();
+  std::vector<double> pi(n, 1.0 / n);
+  Matrix s(n, n), q(n, n);
+  buildExchangeability(gc(), 2.0, 0.0, s);
+  buildRateMatrix(s, pi, q);
+  const auto idx = [&](const char* c) {
+    return gc().senseIndex(*bio::codonFromString(c));
+  };
+  EXPECT_DOUBLE_EQ(q(idx("TTT"), idx("TTA")), 0.0);  // non-synonymous
+  EXPECT_GT(q(idx("TTT"), idx("TTC")), 0.0);         // synonymous
+}
+
+// ---------- branch-site model A ----------
+
+TEST(BranchSite, ProportionsMatchTableI) {
+  const auto p = siteClassProportions(0.5, 0.3);
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.3);
+  EXPECT_NEAR(p[2], 0.2 * 0.5 / 0.8, 1e-15);
+  EXPECT_NEAR(p[3], 0.2 * 0.3 / 0.8, 1e-15);
+  EXPECT_NEAR(p[0] + p[1] + p[2] + p[3], 1.0, 1e-15);
+}
+
+TEST(BranchSite, ProportionsRejectDegenerate) {
+  EXPECT_THROW(siteClassProportions(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(siteClassProportions(0.6, 0.4), std::invalid_argument);
+}
+
+TEST(BranchSite, OmegaAssignmentMatchesTableI) {
+  // Background column.
+  EXPECT_EQ(omegaIndexFor(0, false), kOmegaConserved);
+  EXPECT_EQ(omegaIndexFor(1, false), kOmegaNeutral);
+  EXPECT_EQ(omegaIndexFor(2, false), kOmegaConserved);  // 2a
+  EXPECT_EQ(omegaIndexFor(3, false), kOmegaNeutral);    // 2b
+  // Foreground column.
+  EXPECT_EQ(omegaIndexFor(0, true), kOmegaConserved);
+  EXPECT_EQ(omegaIndexFor(1, true), kOmegaNeutral);
+  EXPECT_EQ(omegaIndexFor(2, true), kOmegaPositive);
+  EXPECT_EQ(omegaIndexFor(3, true), kOmegaPositive);
+}
+
+TEST(BranchSite, ParamValidation) {
+  BranchSiteParams p;
+  EXPECT_NO_THROW(p.validate(Hypothesis::H1));
+  p.omega0 = 1.5;
+  EXPECT_THROW(p.validate(Hypothesis::H1), std::invalid_argument);
+  p = {};
+  p.omega2 = 0.5;
+  EXPECT_THROW(p.validate(Hypothesis::H1), std::invalid_argument);
+  EXPECT_NO_THROW(p.validate(Hypothesis::H0));  // omega2 ignored under H0
+  p = {};
+  p.p0 = 0.7;
+  p.p1 = 0.4;
+  EXPECT_THROW(p.validate(Hypothesis::H0), std::invalid_argument);
+}
+
+TEST(BranchSite, DistinctOmegasUnderH0AndH1) {
+  BranchSiteParams p;
+  p.omega0 = 0.2;
+  p.omega2 = 3.0;
+  const auto h1 = p.distinctOmegas(Hypothesis::H1);
+  EXPECT_DOUBLE_EQ(h1[0], 0.2);
+  EXPECT_DOUBLE_EQ(h1[1], 1.0);
+  EXPECT_DOUBLE_EQ(h1[2], 3.0);
+  const auto h0 = p.distinctOmegas(Hypothesis::H0);
+  EXPECT_DOUBLE_EQ(h0[2], 1.0);
+}
+
+TEST(BranchSite, QSetScalingNormalizesWeightedBackgroundRate) {
+  const int n = gc().numSense();
+  std::vector<double> pi(n, 1.0 / n);
+  BranchSiteParams params;
+  params.kappa = 2.0;
+  params.omega0 = 0.1;
+  params.omega2 = 2.5;
+  params.p0 = 0.5;
+  params.p1 = 0.3;
+  const auto qset = buildBranchSiteQSet(gc(), pi, params, Hypothesis::H1);
+
+  const auto prop = siteClassProportions(params.p0, params.p1);
+  const Matrix q0 = qset.rateMatrix(kOmegaConserved, pi);
+  const Matrix q1 = qset.rateMatrix(kOmegaNeutral, pi);
+  const double weighted = (prop[0] + prop[2]) * expectedRate(q0, pi) +
+                          (prop[1] + prop[3]) * expectedRate(q1, pi);
+  EXPECT_NEAR(weighted, 1.0, 1e-10);
+}
+
+TEST(BranchSite, QSetMatricesAreValidGenerators) {
+  const int n = gc().numSense();
+  std::vector<double> pi(n, 1.0 / n);
+  const auto qset =
+      buildBranchSiteQSet(gc(), pi, BranchSiteParams{}, Hypothesis::H1);
+  for (int k = 0; k < kNumOmegaClasses; ++k) {
+    const Matrix q = qset.rateMatrix(k, pi);
+    EXPECT_NO_THROW(validateGenerator(q, pi, 1e-9)) << "omega class " << k;
+  }
+}
+
+TEST(BranchSite, HigherOmegaMeansFasterNonSynonymousRate) {
+  const int n = gc().numSense();
+  std::vector<double> pi(n, 1.0 / n);
+  const auto qset =
+      buildBranchSiteQSet(gc(), pi, BranchSiteParams{}, Hypothesis::H1);
+  const auto idx = [&](const char* c) {
+    return gc().senseIndex(*bio::codonFromString(c));
+  };
+  const Matrix q0 = qset.rateMatrix(kOmegaConserved, pi);
+  const Matrix q2 = qset.rateMatrix(kOmegaPositive, pi);
+  // Non-synonymous rate scales with omega (same normalization factor).
+  EXPECT_GT(q2(idx("TTT"), idx("TTA")), q0(idx("TTT"), idx("TTA")));
+  // Synonymous rate is identical across classes.
+  EXPECT_NEAR(q2(idx("TTT"), idx("TTC")), q0(idx("TTT"), idx("TTC")), 1e-12);
+}
+
+}  // namespace
+}  // namespace slim::model

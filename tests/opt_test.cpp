@@ -1,0 +1,268 @@
+// Tests for the parameter transforms and the BFGS minimizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/bfgs.hpp"
+#include "opt/nelder_mead.hpp"
+#include "opt/transforms.hpp"
+
+namespace slim::opt {
+namespace {
+
+// ---------- scalar transforms ----------
+
+TEST(Transforms, IdentityRoundTrip) {
+  const auto t = Transform::identity();
+  EXPECT_DOUBLE_EQ(t.toExternal(3.5), 3.5);
+  EXPECT_DOUBLE_EQ(t.toInternal(-2.0), -2.0);
+}
+
+TEST(Transforms, LogAboveRoundTrip) {
+  const auto t = Transform::logAbove(1.0);
+  for (double x : {1.0001, 1.5, 2.0, 10.0, 1e4}) {
+    EXPECT_NEAR(t.toExternal(t.toInternal(x)), x, 1e-9 * x);
+    EXPECT_GT(t.toExternal(t.toInternal(x)), 1.0);
+  }
+}
+
+TEST(Transforms, LogAboveMapsAllOfR) {
+  const auto t = Transform::logAbove(0.0);
+  EXPECT_GT(t.toExternal(-100.0), 0.0);
+  EXPECT_TRUE(std::isfinite(t.toExternal(50.0)));
+}
+
+TEST(Transforms, LogisticRoundTrip) {
+  const auto t = Transform::logistic(0.0, 1.0);
+  for (double x : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_NEAR(t.toExternal(t.toInternal(x)), x, 1e-12);
+  }
+}
+
+TEST(Transforms, LogisticStaysInRange) {
+  const auto t = Transform::logistic(2.0, 5.0);
+  for (double u : {-100.0, -1.0, 0.0, 1.0, 100.0}) {
+    const double x = t.toExternal(u);
+    EXPECT_GT(x, 2.0 - 1e-12);
+    EXPECT_LT(x, 5.0 + 1e-12);
+  }
+}
+
+TEST(Transforms, LogisticBoundaryInputClamped) {
+  const auto t = Transform::logistic(0.0, 1.0);
+  EXPECT_TRUE(std::isfinite(t.toInternal(0.0)));
+  EXPECT_TRUE(std::isfinite(t.toInternal(1.0)));
+}
+
+// ---------- simplex transform ----------
+
+TEST(Simplex2, RoundTrip) {
+  for (auto [p0, p1] : {std::pair{0.5, 0.3}, {0.1, 0.8}, {0.85, 0.1},
+                        {0.333, 0.333}}) {
+    const auto [u, v] = simplex2ToInternal(p0, p1);
+    const auto [q0, q1] = simplex2ToExternal(u, v);
+    EXPECT_NEAR(q0, p0, 1e-10);
+    EXPECT_NEAR(q1, p1, 1e-10);
+  }
+}
+
+TEST(Simplex2, AlwaysInsideSimplex) {
+  for (double u : {-50.0, -1.0, 0.0, 3.0, 50.0})
+    for (double v : {-50.0, 0.0, 50.0}) {
+      const auto [p0, p1] = simplex2ToExternal(u, v);
+      EXPECT_GT(p0, 0.0);
+      EXPECT_GT(p1, 0.0);
+      EXPECT_LT(p0 + p1, 1.0 + 1e-15);
+    }
+}
+
+TEST(Simplex2, OverflowSafeForExtremeInputs) {
+  const auto [p0, p1] = simplex2ToExternal(800.0, -800.0);
+  EXPECT_TRUE(std::isfinite(p0));
+  EXPECT_NEAR(p0, 1.0, 1e-10);
+  EXPECT_NEAR(p1, 0.0, 1e-10);
+}
+
+// ---------- finite-difference gradients ----------
+
+TEST(FdGradient, MatchesAnalyticOnQuadratic) {
+  const Objective f = [](std::span<const double> x) {
+    return 3.0 * x[0] * x[0] + 2.0 * x[0] * x[1] + x[1] * x[1];
+  };
+  const std::vector<double> x{1.0, -2.0};
+  std::vector<double> g(2);
+  long evals = 0;
+  fdGradient(f, x, f(x), 1e-7, /*central=*/false, g, evals);
+  EXPECT_NEAR(g[0], 6.0 * x[0] + 2.0 * x[1], 1e-5);
+  EXPECT_NEAR(g[1], 2.0 * x[0] + 2.0 * x[1], 1e-5);
+  EXPECT_EQ(evals, 2);
+}
+
+TEST(FdGradient, CentralIsMoreAccurate) {
+  const Objective f = [](std::span<const double> x) {
+    return std::sin(x[0]);
+  };
+  const std::vector<double> x{1.3};
+  std::vector<double> gf(1), gc(1);
+  long evals = 0;
+  fdGradient(f, x, f(x), 1e-6, false, gf, evals);
+  fdGradient(f, x, f(x), 1e-6, true, gc, evals);
+  const double exact = std::cos(1.3);
+  EXPECT_LT(std::fabs(gc[0] - exact), std::fabs(gf[0] - exact) + 1e-12);
+  EXPECT_EQ(evals, 1 + 2);
+}
+
+// ---------- BFGS ----------
+
+TEST(Bfgs, SolvesConvexQuadratic) {
+  const Objective f = [](std::span<const double> x) {
+    double s = 0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      s += (i + 1.0) * (x[i] - 1.0) * (x[i] - 1.0);
+    return s;
+  };
+  const std::vector<double> x0{5.0, -3.0, 0.0, 2.0};
+  const auto r = minimizeBfgs(f, x0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.value, 1e-10);
+  for (double xi : r.x) EXPECT_NEAR(xi, 1.0, 1e-4);
+}
+
+TEST(Bfgs, SolvesRosenbrock) {
+  const Objective f = [](std::span<const double> x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  BfgsOptions opts;
+  opts.maxIterations = 2000;
+  opts.centralDifferences = true;
+  const auto r = minimizeBfgs(f, std::vector<double>{-1.2, 1.0}, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(Bfgs, HandlesInfeasibleRegions) {
+  // +inf outside the unit disk; optimum at an interior point.
+  const Objective f = [](std::span<const double> x) -> double {
+    const double r2 = x[0] * x[0] + x[1] * x[1];
+    if (r2 > 1.0) return std::numeric_limits<double>::infinity();
+    return (x[0] - 0.3) * (x[0] - 0.3) + (x[1] + 0.2) * (x[1] + 0.2);
+  };
+  const auto r = minimizeBfgs(f, std::vector<double>{0.0, 0.0});
+  EXPECT_NEAR(r.x[0], 0.3, 1e-4);
+  EXPECT_NEAR(r.x[1], -0.2, 1e-4);
+}
+
+TEST(Bfgs, RespectsIterationCap) {
+  const Objective f = [](std::span<const double> x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  BfgsOptions opts;
+  opts.maxIterations = 3;
+  const auto r = minimizeBfgs(f, std::vector<double>{-1.2, 1.0}, opts);
+  EXPECT_LE(r.iterations, 3);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.message, "maximum iterations reached");
+}
+
+TEST(Bfgs, AlreadyAtOptimum) {
+  const Objective f = [](std::span<const double> x) { return x[0] * x[0]; };
+  const auto r = minimizeBfgs(f, std::vector<double>{0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Bfgs, ThrowsOnInfeasibleStart) {
+  const Objective f = [](std::span<const double>) {
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+  EXPECT_THROW(minimizeBfgs(f, std::vector<double>{0.0}),
+               std::invalid_argument);
+}
+
+// ---------- Nelder-Mead ----------
+
+TEST(NelderMead, SolvesConvexQuadratic) {
+  const Objective f = [](std::span<const double> x) {
+    double s = 0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      s += (i + 1.0) * (x[i] - 1.0) * (x[i] - 1.0);
+    return s;
+  };
+  const auto r = minimizeNelderMead(f, std::vector<double>{4.0, -2.0, 0.5});
+  EXPECT_TRUE(r.converged);
+  for (double xi : r.x) EXPECT_NEAR(xi, 1.0, 1e-4);
+}
+
+TEST(NelderMead, SolvesRosenbrock) {
+  const Objective f = [](std::span<const double> x) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.maxIterations = 5000;
+  const auto r = minimizeNelderMead(f, std::vector<double>{-1.2, 1.0}, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, HandlesInfeasibleRegions) {
+  const Objective f = [](std::span<const double> x) -> double {
+    if (x[0] * x[0] + x[1] * x[1] > 1.0)
+      return std::numeric_limits<double>::infinity();
+    return (x[0] - 0.3) * (x[0] - 0.3) + (x[1] + 0.2) * (x[1] + 0.2);
+  };
+  NelderMeadOptions opts;
+  opts.initialStep = 0.2;  // keep the initial simplex feasible
+  const auto r = minimizeNelderMead(f, std::vector<double>{0.0, 0.0}, opts);
+  EXPECT_NEAR(r.x[0], 0.3, 1e-3);
+  EXPECT_NEAR(r.x[1], -0.2, 1e-3);
+}
+
+TEST(NelderMead, AgreesWithBfgsOnSmoothProblem) {
+  const Objective f = [](std::span<const double> x) {
+    return std::pow(x[0] - 2.0, 4) + std::pow(x[1] + 1.0, 2) +
+           0.5 * x[0] * x[1];
+  };
+  const std::vector<double> x0{3.0, 3.0};
+  const auto nm = minimizeNelderMead(f, x0);
+  const auto bf = minimizeBfgs(f, x0);
+  EXPECT_NEAR(nm.value, bf.value, 1e-4 * (1 + std::fabs(bf.value)));
+}
+
+TEST(NelderMead, RespectsIterationCap) {
+  const Objective f = [](std::span<const double> x) { return x[0] * x[0]; };
+  NelderMeadOptions opts;
+  opts.maxIterations = 2;
+  const auto r = minimizeNelderMead(f, std::vector<double>{100.0}, opts);
+  EXPECT_LE(r.iterations, 2);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(NelderMead, ThrowsOnInfeasibleStart) {
+  const Objective f = [](std::span<const double>) {
+    return std::numeric_limits<double>::quiet_NaN();
+  };
+  EXPECT_THROW(minimizeNelderMead(f, std::vector<double>{0.0}),
+               std::invalid_argument);
+}
+
+TEST(Bfgs, QuarticValleyConverges) {
+  const Objective f = [](std::span<const double> x) {
+    return std::pow(x[0] - 2.0, 4) + x[1] * x[1];
+  };
+  BfgsOptions opts;
+  opts.maxIterations = 200;
+  const auto r = minimizeBfgs(f, std::vector<double>{5.0, 5.0}, opts);
+  EXPECT_LT(r.value, 1e-3);
+  EXPECT_NEAR(r.x[1], 0.0, 1e-3);
+  EXPECT_GT(r.functionEvaluations, r.iterations);
+}
+
+}  // namespace
+}  // namespace slim::opt

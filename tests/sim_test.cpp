@@ -1,0 +1,268 @@
+// Tests for the RNG, random trees and the branch-site sequence evolver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "model/frequencies.hpp"
+#include "sim/datasets.hpp"
+#include "sim/evolver.hpp"
+#include "sim/random_tree.hpp"
+#include "sim/rng.hpp"
+
+namespace slim::sim {
+namespace {
+
+// ---------- RNG ----------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.nextU64() == b.nextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double u = rng.uniform();
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_GE(mn, 0.0);
+  EXPECT_LT(mx, 1.0);
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(13);
+  const double weights[] = {1.0, 3.0, 6.0};
+  int counts[3] = {0, 0, 0};
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.categorical({weights, 3})];
+  EXPECT_NEAR(counts[0] / double(trials), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / double(trials), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / double(trials), 0.6, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(17);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniformInt(5);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// ---------- random trees ----------
+
+class YuleTreeSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(YuleTreeSizes, CorrectShape) {
+  Rng rng(23);
+  const auto t = yuleTree(GetParam(), rng);
+  EXPECT_EQ(t.numLeaves(), GetParam());
+  // Binary rooted tree: 2s - 1 nodes, 2s - 2 branches.
+  EXPECT_EQ(t.numNodes(), 2 * GetParam() - 1);
+  EXPECT_NO_THROW(t.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, YuleTreeSizes,
+                         ::testing::Values(2, 3, 7, 25, 95));
+
+TEST(YuleTree, BranchLengthsWithinRange) {
+  Rng rng(29);
+  RandomTreeOptions opts;
+  opts.minBranchLength = 0.05;
+  opts.maxBranchLength = 0.10;
+  const auto t = yuleTree(20, rng, opts);
+  for (int id : t.branches()) {
+    EXPECT_GE(t.branchLength(id), 0.05);
+    EXPECT_LE(t.branchLength(id), 0.10);
+  }
+}
+
+TEST(YuleTree, LeafNamesUnique) {
+  Rng rng(31);
+  const auto t = yuleTree(40, rng);
+  std::set<std::string> names;
+  for (int id : t.leaves()) names.insert(t.node(id).label);
+  EXPECT_EQ(names.size(), 40u);
+}
+
+TEST(YuleTree, DeterministicForSeed) {
+  Rng a(5), b(5);
+  EXPECT_EQ(yuleTree(12, a).toNewick(), yuleTree(12, b).toNewick());
+}
+
+TEST(PickForeground, PrefersInternalBranch) {
+  Rng rng(37);
+  auto t = yuleTree(10, rng);
+  const int fg = pickForegroundBranch(t, rng);
+  EXPECT_EQ(t.foregroundBranch(), fg);
+  EXPECT_FALSE(t.node(fg).isLeaf());
+}
+
+TEST(PickForeground, FallsBackToLeafOnCherry) {
+  Rng rng(41);
+  auto t = yuleTree(2, rng);
+  const int fg = pickForegroundBranch(t, rng);
+  EXPECT_TRUE(t.node(fg).isLeaf());
+}
+
+// ---------- evolver ----------
+
+TEST(Evolver, OutputShapeAndValidity) {
+  Rng rng(43);
+  auto t = yuleTree(6, rng);
+  pickForegroundBranch(t, rng);
+  const auto& gc = bio::GeneticCode::universal();
+  const auto pi = randomCodonFrequencies(gc.numSense(), 5, rng);
+  const auto sim = evolveBranchSite(gc, t, defaultSimulationParams(),
+                                    model::Hypothesis::H1, 50, pi, rng);
+  EXPECT_EQ(sim.alignment.numSequences(), 6u);
+  EXPECT_EQ(sim.alignment.length(), 150u);
+  EXPECT_EQ(sim.siteClasses.size(), 50u);
+  // Output must re-encode cleanly (no stop codons generated).
+  EXPECT_NO_THROW(seqio::encodeCodons(sim.alignment, gc));
+}
+
+TEST(Evolver, DeterministicForSeed) {
+  const auto& gc = bio::GeneticCode::universal();
+  auto make = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    auto t = yuleTree(5, rng);
+    pickForegroundBranch(t, rng);
+    const auto pi = randomCodonFrequencies(gc.numSense(), 5, rng);
+    return evolveBranchSite(gc, t, defaultSimulationParams(),
+                            model::Hypothesis::H1, 30, pi, rng)
+        .alignment.sequence(0)
+        .data;
+  };
+  EXPECT_EQ(make(99), make(99));
+  EXPECT_NE(make(99), make(100));
+}
+
+TEST(Evolver, SiteClassFrequenciesMatchProportions) {
+  Rng rng(47);
+  auto t = yuleTree(4, rng);
+  pickForegroundBranch(t, rng);
+  const auto& gc = bio::GeneticCode::universal();
+  const auto pi = randomCodonFrequencies(gc.numSense(), 5, rng);
+  auto params = defaultSimulationParams();
+  const auto sim = evolveBranchSite(gc, t, params, model::Hypothesis::H1,
+                                    20000, pi, rng);
+  const auto expect = model::siteClassProportions(params.p0, params.p1);
+  double counts[4] = {0, 0, 0, 0};
+  for (int m : sim.siteClasses) ++counts[m];
+  for (int m = 0; m < 4; ++m)
+    EXPECT_NEAR(counts[m] / 20000.0, expect[m], 0.02) << "class " << m;
+}
+
+TEST(Evolver, ZeroLengthBranchesCopyParentState) {
+  // With all branch lengths 0 every leaf repeats the root codon.
+  Rng rng(53);
+  RandomTreeOptions opts;
+  opts.minBranchLength = 0.0;
+  opts.maxBranchLength = 0.0;
+  auto t = yuleTree(5, rng, opts);
+  pickForegroundBranch(t, rng);
+  const auto& gc = bio::GeneticCode::universal();
+  const auto pi = randomCodonFrequencies(gc.numSense(), 5, rng);
+  const auto sim = evolveBranchSite(gc, t, defaultSimulationParams(),
+                                    model::Hypothesis::H1, 10, pi, rng);
+  for (std::size_t s = 1; s < sim.alignment.numSequences(); ++s)
+    EXPECT_EQ(sim.alignment.sequence(s).data, sim.alignment.sequence(0).data);
+}
+
+TEST(Evolver, HighOmega2IncreasesForegroundDivergence) {
+  // Qualitative sanity: with a leaf foreground branch and huge omega2 +
+  // large positive-class weight, the foreground leaf should differ from its
+  // sister more than under H0.  Statistical, so large site count and fixed
+  // seeds.
+  const auto& gc = bio::GeneticCode::universal();
+  auto distance = [&](double omega2, model::Hypothesis hyp) {
+    Rng rng(61);
+    auto t = tree::Tree::parseNewick("((a:0.05,b:0.05):0.05,c:0.05);");
+    t.setForegroundBranch(t.findLeaf("a"));
+    model::BranchSiteParams p = defaultSimulationParams();
+    p.p0 = 0.2;
+    p.p1 = 0.2;
+    p.omega2 = omega2;
+    const auto pi = randomCodonFrequencies(gc.numSense(), 5, rng);
+    const auto sim = evolveBranchSite(gc, t, p, hyp, 4000, pi, rng);
+    const auto& sa = sim.alignment.sequence(0).data;  // a (postorder first)
+    const auto& sb = sim.alignment.sequence(1).data;
+    int diff = 0;
+    for (std::size_t i = 0; i < sa.size(); ++i) diff += (sa[i] != sb[i]);
+    return diff;
+  };
+  EXPECT_GT(distance(8.0, model::Hypothesis::H1),
+            distance(8.0, model::Hypothesis::H0));
+}
+
+// ---------- paper-shaped datasets ----------
+
+TEST(Datasets, TableIIShapes) {
+  const auto& specs = paperDatasetSpecs();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].numSpecies, 7);
+  EXPECT_EQ(specs[0].numCodons, 299);
+  EXPECT_EQ(specs[1].numSpecies, 6);
+  EXPECT_EQ(specs[1].numCodons, 5004);
+  EXPECT_EQ(specs[2].numSpecies, 25);
+  EXPECT_EQ(specs[2].numCodons, 67);
+  EXPECT_EQ(specs[3].numSpecies, 95);
+  EXPECT_EQ(specs[3].numCodons, 39);
+}
+
+TEST(Datasets, GeneratedShapesMatchSpecs) {
+  const auto ds = makePaperDataset(PaperDatasetId::III, 7);
+  EXPECT_EQ(ds.tree.numLeaves(), 25);
+  EXPECT_EQ(ds.alignment.numSequences(), 25u);
+  EXPECT_EQ(ds.alignment.length(), 67u * 3u);
+  EXPECT_GE(ds.tree.foregroundBranch(), 0);
+  EXPECT_EQ(ds.trueSiteClasses.size(), 67u);
+}
+
+TEST(Datasets, SweepDatasetShape) {
+  const auto ds = makeSweepDataset(15, 3);
+  EXPECT_EQ(ds.tree.numLeaves(), 15);
+  EXPECT_EQ(ds.alignment.length(), 39u * 3u);
+}
+
+TEST(Datasets, DeterministicForSeed) {
+  const auto a = makePaperDataset(PaperDatasetId::I, 5);
+  const auto b = makePaperDataset(PaperDatasetId::I, 5);
+  EXPECT_EQ(a.tree.toNewick(), b.tree.toNewick());
+  EXPECT_EQ(a.alignment.sequence(0).data, b.alignment.sequence(0).data);
+}
+
+TEST(Datasets, LeafNamesMatchAlignment) {
+  const auto ds = makePaperDataset(PaperDatasetId::I, 9);
+  for (int leaf : ds.tree.leaves())
+    EXPECT_GE(ds.alignment.find(ds.tree.node(leaf).label), 0);
+}
+
+}  // namespace
+}  // namespace slim::sim

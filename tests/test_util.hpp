@@ -1,0 +1,53 @@
+#pragma once
+// Shared helpers for the slimcodeml test suite.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/matrix.hpp"
+
+namespace slim::testutil {
+
+/// Deterministic random dense matrix with entries in [-1, 1].
+inline linalg::Matrix randomMatrix(std::size_t rows, std::size_t cols,
+                                   unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  linalg::Matrix m(rows, cols);
+  for (std::size_t k = 0; k < m.size(); ++k) m.data()[k] = dist(gen);
+  return m;
+}
+
+/// Deterministic random symmetric matrix.
+inline linalg::Matrix randomSymmetric(std::size_t n, unsigned seed) {
+  linalg::Matrix m = randomMatrix(n, n, seed);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) m(i, j) = m(j, i);
+  return m;
+}
+
+/// Deterministic random vector with entries in [-1, 1].
+inline linalg::Vector randomVector(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  linalg::Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = dist(gen);
+  return v;
+}
+
+/// Deterministic random strictly-positive frequency vector summing to 1.
+inline std::vector<double> randomFrequencies(std::size_t n, unsigned seed) {
+  std::mt19937 gen(seed);
+  std::uniform_real_distribution<double> dist(0.2, 1.0);
+  std::vector<double> pi(n);
+  double total = 0;
+  for (auto& f : pi) {
+    f = dist(gen);
+    total += f;
+  }
+  for (auto& f : pi) f /= total;
+  return pi;
+}
+
+}  // namespace slim::testutil

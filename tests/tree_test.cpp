@@ -1,0 +1,168 @@
+// Tests for the phylogenetic tree container and the Newick parser/writer,
+// including the PAML '#1' foreground-branch tags the branch-site model needs.
+
+#include <gtest/gtest.h>
+
+#include "tree/tree.hpp"
+
+namespace slim::tree {
+namespace {
+
+TEST(Newick, ParsesSimpleTriplet) {
+  const auto t = Tree::parseNewick("(a:0.1,b:0.2,c:0.3);");
+  EXPECT_EQ(t.numLeaves(), 3);
+  EXPECT_EQ(t.numNodes(), 4);
+  EXPECT_EQ(t.numBranches(), 3);
+  const int a = t.findLeaf("a");
+  ASSERT_GE(a, 0);
+  EXPECT_DOUBLE_EQ(t.branchLength(a), 0.1);
+}
+
+TEST(Newick, ParsesNestedTopology) {
+  const auto t = Tree::parseNewick("((a:1,b:2):0.5,(c:3,d:4):0.25);");
+  EXPECT_EQ(t.numLeaves(), 4);
+  EXPECT_EQ(t.numNodes(), 7);
+  const int a = t.findLeaf("a");
+  const int c = t.findLeaf("c");
+  EXPECT_NE(t.node(a).parent, t.node(c).parent);
+  EXPECT_DOUBLE_EQ(t.branchLength(t.node(a).parent), 0.5);
+}
+
+TEST(Newick, ParsesForegroundMarkOnLeaf) {
+  const auto t = Tree::parseNewick("(a #1:0.1,b:0.2,c:0.3);");
+  EXPECT_EQ(t.foregroundBranch(), t.findLeaf("a"));
+}
+
+TEST(Newick, ParsesForegroundMarkOnInternalBranch) {
+  const auto t = Tree::parseNewick("((a:1,b:2) #1 :0.5,c:3);");
+  const int fg = t.foregroundBranch();
+  ASSERT_GE(fg, 0);
+  EXPECT_FALSE(t.node(fg).isLeaf());
+  EXPECT_DOUBLE_EQ(t.branchLength(fg), 0.5);
+}
+
+TEST(Newick, MarkAfterColonAlsoAccepted) {
+  const auto t = Tree::parseNewick("(a:0.1 #1,b:0.2,c:0.3);");
+  EXPECT_EQ(t.foregroundBranch(), t.findLeaf("a"));
+}
+
+TEST(Newick, MissingLengthsDefaultToZero) {
+  const auto t = Tree::parseNewick("(a,b);");
+  EXPECT_DOUBLE_EQ(t.branchLength(t.findLeaf("a")), 0.0);
+}
+
+TEST(Newick, InternalLabelsPreserved) {
+  const auto t = Tree::parseNewick("((a:1,b:1)anc:0.5,c:1);");
+  const int a = t.findLeaf("a");
+  EXPECT_EQ(t.node(t.node(a).parent).label, "anc");
+}
+
+TEST(Newick, WhitespaceTolerant) {
+  const auto t = Tree::parseNewick("  ( a : 0.1 ,\n  b : 0.2 , c : 0.3 ) ;\n");
+  EXPECT_EQ(t.numLeaves(), 3);
+}
+
+TEST(Newick, RoundTripPreservesStructure) {
+  const std::string in = "((a:1,b:2) #1:0.5,(c:3,d:4):0.25);";
+  const auto t = Tree::parseNewick(in);
+  const auto t2 = Tree::parseNewick(t.toNewick());
+  EXPECT_EQ(t2.numLeaves(), 4);
+  EXPECT_EQ(t2.foregroundBranch(), t2.node(t2.findLeaf("a")).parent);
+  EXPECT_DOUBLE_EQ(t2.branchLength(t2.findLeaf("d")), 4.0);
+}
+
+TEST(Newick, RejectsMalformedInput) {
+  EXPECT_THROW(Tree::parseNewick(""), std::invalid_argument);
+  EXPECT_THROW(Tree::parseNewick("(a,b)"), std::invalid_argument);   // no ';'
+  EXPECT_THROW(Tree::parseNewick("(a,b); x"), std::invalid_argument);
+  EXPECT_THROW(Tree::parseNewick("((a,b);"), std::invalid_argument);
+  EXPECT_THROW(Tree::parseNewick("(a);"), std::invalid_argument);    // 1 child
+  EXPECT_THROW(Tree::parseNewick("(a,);"), std::invalid_argument);
+  EXPECT_THROW(Tree::parseNewick("(a:x,b);"), std::invalid_argument);
+  EXPECT_THROW(Tree::parseNewick("(a:-1,b);"), std::invalid_argument);
+}
+
+TEST(Tree, PostOrderVisitsChildrenFirst) {
+  const auto t = Tree::parseNewick("((a:1,b:1):1,c:1);");
+  const auto& order = t.postOrder();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.back(), t.root());
+  std::vector<bool> seen(t.numNodes(), false);
+  for (int id : order) {
+    for (int c : t.node(id).children) EXPECT_TRUE(seen[c]);
+    seen[id] = true;
+  }
+}
+
+TEST(Tree, BranchesExcludeRoot) {
+  const auto t = Tree::parseNewick("((a:1,b:1):1,c:1);");
+  const auto branches = t.branches();
+  EXPECT_EQ(branches.size(), 4u);
+  for (int b : branches) EXPECT_NE(b, t.root());
+}
+
+TEST(Tree, LeavesListedInPostOrder) {
+  const auto t = Tree::parseNewick("((a:1,b:1):1,c:1);");
+  const auto leaves = t.leaves();
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_EQ(t.node(leaves[0]).label, "a");
+  EXPECT_EQ(t.node(leaves[2]).label, "c");
+}
+
+TEST(Tree, SetForegroundBranchClearsOthers) {
+  auto t = Tree::parseNewick("(a #1:1,b:1,c:1);");
+  const int b = t.findLeaf("b");
+  t.setForegroundBranch(b);
+  EXPECT_EQ(t.foregroundBranch(), b);
+  EXPECT_EQ(t.mark(t.findLeaf("a")), 0);
+}
+
+TEST(Tree, SetForegroundRejectsRoot) {
+  auto t = Tree::parseNewick("(a:1,b:1);");
+  EXPECT_THROW(t.setForegroundBranch(t.root()), std::invalid_argument);
+}
+
+TEST(Tree, SetBranchLengthValidates) {
+  auto t = Tree::parseNewick("(a:1,b:1);");
+  t.setBranchLength(t.findLeaf("a"), 2.5);
+  EXPECT_DOUBLE_EQ(t.branchLength(t.findLeaf("a")), 2.5);
+  EXPECT_THROW(t.setBranchLength(t.findLeaf("a"), -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(t.setBranchLength(99, 1.0), std::invalid_argument);
+}
+
+TEST(Tree, FindLeafIgnoresInternalLabels) {
+  const auto t = Tree::parseNewick("((a:1,b:1)x:1,c:1);");
+  EXPECT_EQ(t.findLeaf("x"), -1);
+  EXPECT_GE(t.findLeaf("c"), 0);
+}
+
+TEST(Tree, ManualConstructionAndValidate) {
+  Tree t;
+  const int root = t.addNode(kNoParent, "", 0.0);
+  t.addNode(root, "a", 0.1);
+  t.addNode(root, "b", 0.2);
+  t.finalize();
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.numLeaves(), 2);
+}
+
+TEST(Tree, AddNodeRejectsSecondRoot) {
+  Tree t;
+  t.addNode(kNoParent, "", 0.0);
+  EXPECT_THROW(t.addNode(kNoParent, "", 0.0), std::invalid_argument);
+}
+
+TEST(Tree, LargeTreeParses) {
+  // Build a caterpillar of 200 leaves programmatically, then round-trip.
+  std::string s = "(L0:0.1,L1:0.1)";
+  for (int i = 2; i < 200; ++i)
+    s = "(" + s + ":0.1,L" + std::to_string(i) + ":0.1)";
+  const auto t = Tree::parseNewick(s + ";");
+  EXPECT_EQ(t.numLeaves(), 200);
+  const auto t2 = Tree::parseNewick(t.toNewick());
+  EXPECT_EQ(t2.numLeaves(), 200);
+}
+
+}  // namespace
+}  // namespace slim::tree
