@@ -1,0 +1,147 @@
+// Scaling study for the pattern-blocked parallel engine and the persistent
+// propagator cache (the post-paper optimizations layered on SlimCodeML).
+//
+// Part 1 — propagation scaling: raw logLikelihood evaluations on the
+// Table II dataset-i shape, comparing CodeML's per-pattern gemv propagation
+// (1 thread) against the blocked BLAS-3 path at 1..N threads.  The blocked
+// single-thread line already shows the Sec. III-B bundling win; additional
+// threads split the per-class pattern blocks across cores.
+//
+// Part 2 — propagator cache: a finite-difference-gradient access pattern
+// (one branch length moves per evaluation, substitution parameters fixed),
+// which is what the BFGS driver does numBranches times per gradient.  With
+// the cache every unchanged branch's propagator is served from memory;
+// EvalCounters reports the hit/miss traffic.
+//
+// Every configuration prints its lnL; they must agree bit for bit.
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "lik/branch_site_likelihood.hpp"
+#include "seqio/alignment.hpp"
+#include "support/parallel.hpp"
+
+namespace {
+
+using namespace slim;
+using lik::BranchSiteLikelihood;
+using lik::LikelihoodOptions;
+
+struct EvalResult {
+  double secondsPerEval = 0;
+  double lnL = 0;
+  lik::EvalCounters counters;
+};
+
+EvalResult timeEvals(BranchSiteLikelihood& eval,
+                     const model::BranchSiteParams& params, int reps) {
+  eval.logLikelihood(params);  // warm-up (first-eval eigen + propagators)
+  eval.resetCounters();
+  double lnL = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) lnL = eval.logLikelihood(params);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return {secs / reps, lnL, eval.counters()};
+}
+
+}  // namespace
+
+int main() {
+  const auto& gc = bio::GeneticCode::universal();
+  const auto ds = bench::paperDataset(sim::PaperDatasetId::I);
+  const auto ca = seqio::encodeCodons(ds.alignment, gc);
+  const auto patterns = seqio::compressPatterns(ca);
+  const auto pi =
+      model::estimateCodonFrequencies(ca, model::CodonFrequencyModel::F3x4);
+  const auto params = sim::defaultSimulationParams();
+
+  const int reps = bench::scaledCap(3);
+  const int hw = support::resolveThreadCount(0);
+  std::cout << "Parallel scaling — dataset i (" << patterns.numPatterns()
+            << " patterns), " << reps << " evals per row, "
+            << hw << " hardware threads\n\n";
+
+  // --- Part 1: propagation scaling ---
+  struct Row {
+    std::string label;
+    LikelihoodOptions opts;
+  };
+  std::vector<Row> rows;
+  {
+    LikelihoodOptions perSite = lik::slimOptions();
+    perSite.propagation = lik::PropagationStrategy::PerSiteGemv;
+    perSite.numThreads = 1;
+    rows.push_back({"per-site gemv, 1 thread (CodeML-style)", perSite});
+  }
+  for (int threads : {1, 2, 4}) {
+    if (threads > 1 && threads > hw * 2) break;
+    LikelihoodOptions blocked = lik::slimOptions();
+    blocked.numThreads = threads;
+    rows.push_back({"blocked gemm, " + std::to_string(threads) + " thread" +
+                        (threads > 1 ? "s" : ""),
+                    blocked});
+  }
+
+  std::cout << std::left << std::setw(42) << "configuration" << std::setw(12)
+            << "s/eval" << std::setw(10) << "speedup" << "lnL\n";
+  double baselineSecs = 0;
+  for (const auto& row : rows) {
+    BranchSiteLikelihood eval(ca, patterns, pi, ds.tree, model::Hypothesis::H1,
+                              row.opts);
+    const auto r = timeEvals(eval, params, reps);
+    if (baselineSecs == 0) baselineSecs = r.secondsPerEval;
+    std::cout << std::left << std::setw(42) << row.label << std::setw(12)
+              << std::fixed << std::setprecision(4) << r.secondsPerEval
+              << std::setw(10) << std::setprecision(2)
+              << baselineSecs / r.secondsPerEval << std::setprecision(6)
+              << r.lnL << '\n';
+    std::cout.flush();
+  }
+
+  // --- Part 2: propagator cache under a gradient access pattern ---
+  std::cout << "\nPropagator cache — one branch length moves per evaluation "
+               "(finite-difference gradient pattern)\n\n"
+            << std::left << std::setw(14) << "cache" << std::setw(12)
+            << "s/eval" << std::setw(10) << "builds" << std::setw(9) << "hits"
+            << std::setw(9) << "misses" << "lnL\n";
+  for (const bool useCache : {false, true}) {
+    LikelihoodOptions opts = lik::slimOptions();
+    opts.numThreads = 1;
+    opts.cachePropagators = useCache;
+    BranchSiteLikelihood eval(ca, patterns, pi, ds.tree, model::Hypothesis::H1,
+                              opts);
+    eval.logLikelihood(params);  // warm-up
+    eval.resetCounters();
+    const int evals = 2 * eval.numBranches();
+    double lnL = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int e = 0; e < evals; ++e) {
+      const int k = e % eval.numBranches();
+      const double t = eval.branchLength(k);
+      eval.setBranchLength(k, t * 1.01);
+      lnL = eval.logLikelihood(params);
+      eval.setBranchLength(k, t);  // restore, as a gradient driver does
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const auto& c = eval.counters();
+    std::cout << std::left << std::setw(14) << (useCache ? "on" : "off")
+              << std::setw(12) << std::fixed << std::setprecision(4)
+              << secs / evals << std::setw(10) << c.propagatorBuilds
+              << std::setw(9) << c.propagatorCacheHits << std::setw(9)
+              << c.propagatorCacheMisses << std::setprecision(6) << lnL
+              << '\n';
+    std::cout.flush();
+  }
+  std::cout << "\nExpected shape: blocked gemm beats per-site gemv at every "
+               "thread count;\ncache-on rebuilds only the moved branch's "
+               "propagators (nonzero hits) at identical lnL.\n";
+  return 0;
+}

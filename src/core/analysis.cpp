@@ -85,8 +85,9 @@ BranchSiteAnalysis::BranchSiteAnalysis(const seqio::CodonAlignment& alignment,
 FitResult BranchSiteAnalysis::fit(Hypothesis hypothesis) {
   const auto t0 = std::chrono::steady_clock::now();
 
-  lik::BranchSiteLikelihood eval(alignment_, patterns_, pi_, tree_, hypothesis,
-                                 engineOptions(engine_));
+  lik::BranchSiteLikelihood eval(
+      alignment_, patterns_, pi_, tree_, hypothesis,
+      resolvedEngineOptions(engine_, options_.tuning));
   if (!options_.useTreeBranchLengths)
     eval.setAllBranchLengths(options_.initialBranchLength);
 
@@ -151,8 +152,9 @@ PositiveSelectionTest BranchSiteAnalysis::run() {
   test.lrt = stat::likelihoodRatioTest(test.h0.lnL, test.h1.lnL, /*df=*/1.0);
 
   // NEB site posteriors at the H1 maximum.
-  lik::BranchSiteLikelihood eval(alignment_, patterns_, pi_, tree_,
-                                 Hypothesis::H1, engineOptions(engine_));
+  lik::BranchSiteLikelihood eval(
+      alignment_, patterns_, pi_, tree_, Hypothesis::H1,
+      resolvedEngineOptions(engine_, options_.tuning));
   for (int k = 0; k < eval.numBranches(); ++k)
     eval.setBranchLength(k, test.h1.branchLengths[k]);
   test.posteriors = eval.siteClassPosteriors(test.h1.params);

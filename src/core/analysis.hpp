@@ -33,6 +33,8 @@ struct FitOptions {
   /// this seed (CodeML's randomized initial values; the paper fixes the seed
   /// "to generate comparable and reproducible results").
   std::uint64_t startJitterSeed = 0;
+  /// Likelihood-engine tuning layered on top of the engine preset.
+  LikelihoodTuning tuning{};
 };
 
 struct FitResult {

@@ -70,10 +70,22 @@ Config Config::parse(std::istream& in) {
     } else if (key == "engine") {
       if (value == "slim")
         cfg.engine = EngineKind::Slim;
+      else if (value == "slim-parallel")
+        cfg.engine = EngineKind::SlimParallel;
       else if (value == "codeml")
         cfg.engine = EngineKind::CodemlBaseline;
       else
-        badLine(lineNo, "engine must be 'slim' or 'codeml'");
+        badLine(lineNo, "engine must be 'slim', 'slim-parallel' or 'codeml'");
+    } else if (key == "threads") {
+      cfg.fit.tuning.numThreads = parseInt(value, lineNo);
+      if (cfg.fit.tuning.numThreads < 0)
+        badLine(lineNo, "threads must be >= 0");
+    } else if (key == "blockSize") {
+      cfg.fit.tuning.blockSize = parseInt(value, lineNo);
+      if (cfg.fit.tuning.blockSize < 0)
+        badLine(lineNo, "blockSize must be >= 0");
+    } else if (key == "cachePropagators") {
+      cfg.fit.tuning.cachePropagators = parseInt(value, lineNo) != 0 ? 1 : 0;
     } else if (key == "model") {
       if (value == "branch-site")
         cfg.analysis = AnalysisKind::BranchSite;
@@ -196,6 +208,7 @@ SiteModelTest runSiteModelFromConfig(const Config& config) {
   options.initialParams.omega2 = config.fit.initialParams.omega2;
   options.initialParams.p0 = config.fit.initialParams.p0;
   options.initialParams.p1 = config.fit.initialParams.p1;
+  options.tuning = config.fit.tuning;
   SiteModelAnalysis analysis(in.codons, in.tree, config.engine, options);
   const auto test = analysis.run();
   emitReport(config, [&](std::ostream& os) {

@@ -9,7 +9,10 @@
 //     seqfile  = gene.fasta        * FASTA or sequential PHYLIP
 //     treefile = gene.nwk          * Newick with one #1 foreground mark
 //     outfile  = results.txt       * '-' or empty: stdout
-//     engine   = slim              * slim | codeml
+//     engine   = slim              * slim | slim-parallel | codeml
+//     threads  = 0                 * likelihood threads (0: all cores)
+//     blockSize = 64               * site patterns per work block
+//     cachePropagators = 1         * persistent propagator cache on/off
 //     CodonFreq = 2                * 0 equal, 1 F1x4, 2 F3x4, 3 F61
 //     maxIterations = 200
 //     kappa = 2.0                  * initial values

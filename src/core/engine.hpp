@@ -10,15 +10,44 @@ namespace slim::core {
 enum class EngineKind {
   CodemlBaseline,  ///< CodeML v4.4c stand-in (naive kernels, Eq. 9, per-site gemv).
   Slim,            ///< SlimCodeML (opt kernels, Eq. 10 syrk, bundled BLAS-3).
+  SlimParallel,    ///< Slim + all-core pattern-block sweep + propagator cache.
 };
 
 constexpr const char* engineName(EngineKind e) noexcept {
-  return e == EngineKind::CodemlBaseline ? "CodeML" : "SlimCodeML";
+  switch (e) {
+    case EngineKind::CodemlBaseline: return "CodeML";
+    case EngineKind::Slim: return "SlimCodeML";
+    case EngineKind::SlimParallel: return "SlimCodeML-MT";
+  }
+  return "?";
 }
 
 constexpr lik::LikelihoodOptions engineOptions(EngineKind e) noexcept {
-  return e == EngineKind::CodemlBaseline ? lik::codemlBaselineOptions()
-                                         : lik::slimOptions();
+  switch (e) {
+    case EngineKind::CodemlBaseline: return lik::codemlBaselineOptions();
+    case EngineKind::Slim: return lik::slimOptions();
+    case EngineKind::SlimParallel: return lik::slimParallelOptions();
+  }
+  return lik::slimOptions();
+}
+
+/// Tuning overrides layered on an engine preset (values < 0 keep the
+/// preset's setting).  Kept out of EngineKind so parallelism and caching
+/// stay orthogonal to the paper's kernel comparison.
+struct LikelihoodTuning {
+  int numThreads = -1;        ///< see lik::LikelihoodOptions::numThreads
+  int blockSize = -1;         ///< see lik::LikelihoodOptions::blockSize
+  int cachePropagators = -1;  ///< tri-state: -1 preset, 0 off, 1 on
+};
+
+constexpr lik::LikelihoodOptions resolvedEngineOptions(
+    EngineKind e, const LikelihoodTuning& tuning) noexcept {
+  lik::LikelihoodOptions o = engineOptions(e);
+  if (tuning.numThreads >= 0) o.numThreads = tuning.numThreads;
+  if (tuning.blockSize >= 0) o.blockSize = tuning.blockSize;
+  if (tuning.cachePropagators >= 0)
+    o.cachePropagators = tuning.cachePropagators != 0;
+  return o;
 }
 
 }  // namespace slim::core

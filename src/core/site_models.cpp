@@ -108,7 +108,8 @@ SiteModelFitResult SiteModelAnalysis::fit(SiteModel m) {
 
   // Hypothesis tag is irrelevant for the generic mixture path.
   lik::BranchSiteLikelihood eval(alignment_, patterns_, pi_, tree_,
-                                 Hypothesis::H1, engineOptions(engine_));
+                                 Hypothesis::H1,
+                                 resolvedEngineOptions(engine_, options_.tuning));
 
   const int numBranches = eval.numBranches();
   const SitePacking packing(m, numBranches);
@@ -155,7 +156,8 @@ SiteModelTest SiteModelAnalysis::run() {
   test.lrt = stat::likelihoodRatioTest(test.m1a.lnL, test.m2a.lnL, /*df=*/2.0);
 
   lik::BranchSiteLikelihood eval(alignment_, patterns_, pi_, tree_,
-                                 Hypothesis::H1, engineOptions(engine_));
+                                 Hypothesis::H1,
+                                 resolvedEngineOptions(engine_, options_.tuning));
   for (int k = 0; k < eval.numBranches(); ++k)
     eval.setBranchLength(k, test.m2a.branchLengths[k]);
   test.posteriors = eval.siteClassPosteriors(

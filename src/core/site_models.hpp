@@ -32,6 +32,8 @@ struct SiteModelFitOptions {
   model::CodonFrequencyModel frequencyModel = model::CodonFrequencyModel::F3x4;
   opt::BfgsOptions bfgs{};
   model::SiteModelParams initialParams{};
+  /// Likelihood-engine tuning layered on top of the engine preset.
+  LikelihoodTuning tuning{};
 };
 
 struct SiteModelFitResult {

@@ -132,4 +132,21 @@ void CodonEigenSystem::applyExp(double t, const Matrix& w, Flavor flavor,
     if (out.data()[k] < 0.0) out.data()[k] = 0.0;
 }
 
+void applyFactoredPanel(const Matrix& yhat, std::span<const double> pi,
+                        linalg::ConstMatrixView w, Flavor flavor,
+                        linalg::MatrixView piW, linalg::MatrixView u,
+                        linalg::MatrixView out) {
+  const std::size_t nn = yhat.rows();
+  SLIM_REQUIRE(yhat.square() && w.cols() == nn, "applyFactoredPanel: shapes");
+  SLIM_REQUIRE(piW.rows() == w.rows() && piW.cols() == nn &&
+                   u.rows() == w.rows() && u.cols() == nn &&
+                   out.rows() == w.rows() && out.cols() == nn,
+               "applyFactoredPanel: workspace shapes");
+  linalg::scaleCols(w, pi, piW);
+  linalg::gemm(flavor, piW, yhat.view(), u);
+  linalg::gemmNT(flavor, u, yhat.view(), out);
+  for (std::size_t k = 0; k < out.size(); ++k)
+    if (out.data()[k] < 0.0) out.data()[k] = 0.0;
+}
+
 }  // namespace slim::expm

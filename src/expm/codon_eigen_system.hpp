@@ -89,4 +89,15 @@ class CodonEigenSystem {
   eigenx::SymEigenResult eig_;
 };
 
+/// Pattern-major panel form of the Eq. 13 factored apply, the entry point of
+/// the pattern-blocked likelihood engine: given Yhat (n x n) and a panel W
+/// (p x n) whose rows are CPVs, fill out (p x n) with row h = (e^{Qt} w_h)^T
+/// via ((W Pi) Yhat) Yhat^T — two rectangular gemms, no n x n product.
+/// Roundoff negatives are clamped to 0 (same policy as transitionMatrix).
+/// piW and u are caller-owned workspaces shaped like w.
+void applyFactoredPanel(const linalg::Matrix& yhat, std::span<const double> pi,
+                        linalg::ConstMatrixView w, linalg::Flavor flavor,
+                        linalg::MatrixView piW, linalg::MatrixView u,
+                        linalg::MatrixView out);
+
 }  // namespace slim::expm

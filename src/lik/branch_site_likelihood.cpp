@@ -1,5 +1,7 @@
 #include "lik/branch_site_likelihood.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 
@@ -12,7 +14,9 @@
 
 namespace slim::lik {
 
+using linalg::ConstMatrixView;
 using linalg::Matrix;
+using linalg::MatrixView;
 using model::MixtureSpec;
 
 BranchSiteLikelihood::BranchSiteLikelihood(
@@ -34,20 +38,18 @@ BranchSiteLikelihood::BranchSiteLikelihood(
                "branch-site model requires one marked foreground branch (#1)");
   SLIM_REQUIRE(options_.scalingThreshold > 0 && options_.scalingThreshold < 1,
                "scaling threshold must be in (0,1)");
+  SLIM_REQUIRE(options_.numThreads >= 0, "numThreads must be >= 0");
+  SLIM_REQUIRE(options_.blockSize >= 0, "blockSize must be >= 0");
+  SLIM_REQUIRE(options_.cacheQuantum >= 0, "cacheQuantum must be >= 0");
+  SLIM_REQUIRE(options_.cacheCapacity > 0, "cacheCapacity must be positive");
 
   branchNodes_ = tree_.branches();
 
   // Map leaves onto alignment rows by name and build their static CPVs.
   leafCpv_.resize(tree_.numNodes());
-  nodeCpv_.resize(tree_.numNodes());
-  nodeScaleLog_.resize(tree_.numNodes());
   for (int id : tree_.postOrder()) {
     const auto& node = tree_.node(id);
-    if (!node.isLeaf()) {
-      nodeCpv_[id].resize(npat_, n_);
-      nodeScaleLog_[id].assign(npat_, 0.0);
-      continue;
-    }
+    if (!node.isLeaf()) continue;
     int row = -1;
     for (std::size_t s = 0; s < alignment.names.size(); ++s)
       if (alignment.names[s] == node.label) {
@@ -68,8 +70,16 @@ BranchSiteLikelihood::BranchSiteLikelihood(
     }
   }
 
-  tmp_.resize(npat_, n_);
-  vecTmp_.assign(n_, 0.0);
+  // The block partition is a function of blockSize and npat only — never of
+  // the thread count — so the per-pattern arithmetic (and hence lnL) is
+  // bit-identical however many workers execute the blocks.
+  blockMax_ = options_.blockSize > 0 ? std::min(options_.blockSize, npat_)
+                                     : npat_;
+  const int threads = options_.numThreads == 1
+                          ? 1
+                          : support::resolveThreadCount(options_.numThreads);
+  if (threads > 1) pool_ = std::make_unique<support::ThreadPool>(threads);
+  workspaces_.resize(threads);
 
   totalWeight_ = 0;
   for (double w : patterns_.weights) totalWeight_ += w;
@@ -79,20 +89,25 @@ void BranchSiteLikelihood::setAllBranchLengths(double t) {
   for (int k = 0; k < numBranches(); ++k) setBranchLength(k, t);
 }
 
-const Matrix& BranchSiteLikelihood::propagator(int node, int omegaIdx) {
-  const std::size_t key =
-      static_cast<std::size_t>(node) * numOmegas_ + omegaIdx;
-  if (propReady_[key]) return propCache_[key];
-
-  Matrix& out = propCache_[key];
+void BranchSiteLikelihood::buildPropagator(const expm::CodonEigenSystem& es,
+                                           double t, Matrix& out) {
   if (out.rows() != static_cast<std::size_t>(n_)) out.resize(n_, n_);
-  const auto& es = eigenSystems_[omegaToEigen_[omegaIdx]];
-  const double t = tree_.branchLength(node);
   switch (options_.propagation) {
     case PropagationStrategy::PerSiteGemv:
-    case PropagationStrategy::BundledGemm:
       es.transitionMatrix(t, options_.reconstruction, options_.flavor,
                           expmWs_, out);
+      break;
+    case PropagationStrategy::BundledGemm:
+      // Stored *transposed*: the panel product W P^T then runs as the
+      // saxpy-form gemm W (P^T), which streams contiguous propagator rows
+      // with FMAs instead of doing horizontal-reduction dot products — much
+      // faster for large pattern panels.  The O(n^2) transpose is paid once
+      // per build and amortized over every pattern (and every cache hit).
+      if (transposeScratch_.rows() != static_cast<std::size_t>(n_))
+        transposeScratch_.resize(n_, n_);
+      es.transitionMatrix(t, options_.reconstruction, options_.flavor,
+                          expmWs_, transposeScratch_);
+      linalg::transposeInto(transposeScratch_, out);
       break;
     case PropagationStrategy::SymmetricSymv:
       es.symmetricPropagator(t, options_.flavor, expmWs_, out);
@@ -101,119 +116,188 @@ const Matrix& BranchSiteLikelihood::propagator(int node, int omegaIdx) {
       es.makeYhat(t, out);
       break;
   }
+}
+
+const Matrix& BranchSiteLikelihood::propagator(int node, int omegaIdx) {
+  const std::size_t key = propIndex(node, omegaIdx);
+  if (propPtr_[key]) return *propPtr_[key];
+
+  const int eigenIdx = omegaToEigen_[omegaIdx];
+  const auto& es = eigenSystems_[eigenIdx];
+  double t = tree_.branchLength(node);
+
+  if (options_.cachePropagators) {
+    if (options_.cacheQuantum > 0.0)
+      t = std::round(t / options_.cacheQuantum) * options_.cacheQuantum;
+    const PropKey ck{eigenIdx, std::bit_cast<std::uint64_t>(t)};
+    auto it = persistentProps_.find(ck);
+    if (it == persistentProps_.end()) {
+      // A full cache is flushed at the start of the *next* evaluation:
+      // entries inserted this evaluation may already be referenced through
+      // propPtr_, so they must stay addressable until the sweep finishes.
+      if (persistentProps_.size() >=
+          static_cast<std::size_t>(options_.cacheCapacity))
+        flushCacheNextEval_ = true;
+      Matrix p;
+      buildPropagator(es, t, p);
+      ++counters_.propagatorBuilds;
+      ++counters_.propagatorCacheMisses;
+      it = persistentProps_.emplace(ck, std::move(p)).first;
+    } else {
+      ++counters_.propagatorCacheHits;
+    }
+    propPtr_[key] = &it->second;
+    return it->second;
+  }
+
+  Matrix& out = propCache_[key];
+  buildPropagator(es, t, out);
   ++counters_.propagatorBuilds;
-  propReady_[key] = 1;
+  propPtr_[key] = &out;
   return out;
 }
 
+void BranchSiteLikelihood::prebuildPropagators() {
+  for (int node : branchNodes_) {
+    const bool marked = tree_.node(node).mark != 0;
+    for (int m = 0; m < numClasses_; ++m) {
+      const auto& cls = activeClasses_[m];
+      propagator(node, marked ? cls.omegaForeground : cls.omegaBackground);
+    }
+  }
+}
+
 void BranchSiteLikelihood::propagateBranch(const Matrix& prop,
-                                           const Matrix& childCpv) {
+                                           ConstMatrixView childCpv,
+                                           MatrixView out,
+                                           PruneWorkspace& ws) {
   const auto flavor = options_.flavor;
+  const int rows = static_cast<int>(childCpv.rows());
   switch (options_.propagation) {
     case PropagationStrategy::PerSiteGemv: {
-      for (int h = 0; h < npat_; ++h) {
-        auto tmpRow = tmp_.rowSpan(h);
-        linalg::gemv(flavor, prop, childCpv.rowSpan(h), tmpRow);
-      }
+      for (int h = 0; h < rows; ++h)
+        linalg::gemv(flavor, prop, childCpv.rowSpan(h), out.rowSpan(h));
       break;
     }
     case PropagationStrategy::BundledGemm: {
-      // tmp(h,i) = sum_j childCpv(h,j) P(i,j)  ==  (P w_h)_i for every h.
-      linalg::gemmNT(flavor, childCpv, prop, tmp_);
+      // prop holds P^T, so out(h,i) = sum_j childCpv(h,j) P^T(j,i)
+      //  ==  (P w_h)_i for every h — one BLAS-3 panel product per branch.
+      linalg::gemm(flavor, childCpv, prop.view(), out);
       break;
     }
     case PropagationStrategy::SymmetricSymv: {
       // e^{Qt} w = M (Pi w) with M symmetric (Eq. 12).
-      for (int h = 0; h < npat_; ++h) {
+      for (int h = 0; h < rows; ++h) {
         const double* w = childCpv.row(h);
-        for (int i = 0; i < n_; ++i) vecTmp_[i] = pi_[i] * w[i];
-        linalg::symv(flavor, prop, vecTmp_.span(), tmp_.rowSpan(h));
+        for (int i = 0; i < n_; ++i) ws.vecTmp[i] = pi_[i] * w[i];
+        linalg::symv(flavor, prop, ws.vecTmp.span(), out.rowSpan(h));
       }
       // Clamp roundoff negatives (M is not elementwise non-negative).
-      for (std::size_t k = 0; k < tmp_.size(); ++k)
-        if (tmp_.data()[k] < 0.0) tmp_.data()[k] = 0.0;
+      for (std::size_t k = 0; k < out.size(); ++k)
+        if (out.data()[k] < 0.0) out.data()[k] = 0.0;
       break;
     }
     case PropagationStrategy::FactoredApply: {
-      // tmp = ((W Pi) Yhat) Yhat^T, two rectangular gemms, no n x n product.
-      if (applyPiW_.rows() != static_cast<std::size_t>(npat_))
-        applyPiW_.resize(npat_, n_);
-      if (applyU_.rows() != static_cast<std::size_t>(npat_))
-        applyU_.resize(npat_, n_);
-      linalg::scaleCols(childCpv, pi_, applyPiW_);
-      linalg::gemm(flavor, applyPiW_, prop, applyU_);
-      linalg::gemmNT(flavor, applyU_, prop, tmp_);
-      for (std::size_t k = 0; k < tmp_.size(); ++k)
-        if (tmp_.data()[k] < 0.0) tmp_.data()[k] = 0.0;
+      // out = ((W Pi) Yhat) Yhat^T, two rectangular gemms, no n x n product.
+      expm::applyFactoredPanel(prop, pi_, childCpv, flavor,
+                               ws.applyPiW.rowBlock(0, rows),
+                               ws.applyU.rowBlock(0, rows), out);
       break;
     }
   }
-  counters_.patternPropagations += npat_;
+  ws.patternPropagations += rows;
 }
 
-void BranchSiteLikelihood::pruneClass(int m) {
+void BranchSiteLikelihood::pruneClassBlock(int m, int h0, int len,
+                                           PruneWorkspace& ws) {
+  const int numNodes = tree_.numNodes();
+  if (static_cast<int>(ws.nodeCpv.size()) != numNodes) {
+    ws.nodeCpv.resize(numNodes);
+    ws.nodeScaleLog.resize(numNodes);
+  }
+  if (ws.tmp.rows() != static_cast<std::size_t>(blockMax_)) {
+    ws.tmp.resize(blockMax_, n_);
+    ws.applyPiW.resize(blockMax_, n_);
+    ws.applyU.resize(blockMax_, n_);
+  }
+  if (ws.vecTmp.size() != static_cast<std::size_t>(n_))
+    ws.vecTmp.assign(n_, 0.0);
+
   const int root = tree_.root();
   const auto& cls = activeClasses_[m];
   for (int id : tree_.postOrder()) {
     const auto& node = tree_.node(id);
     if (node.isLeaf()) continue;
-    Matrix& cpv = nodeCpv_[id];
-    cpv.fill(1.0);
-    auto& scaleLog = nodeScaleLog_[id];
-    scaleLog.assign(npat_, 0.0);
+    Matrix& cpvStore = ws.nodeCpv[id];
+    if (cpvStore.rows() != static_cast<std::size_t>(blockMax_))
+      cpvStore.resize(blockMax_, n_);
+    const MatrixView cpv = cpvStore.rowBlock(0, len);
+    for (int h = 0; h < len; ++h) {
+      double* row = cpv.row(h);
+      std::fill(row, row + n_, 1.0);
+    }
+    auto& scaleLog = ws.nodeScaleLog[id];
+    scaleLog.assign(len, 0.0);
 
     for (int child : node.children) {
       const bool childIsLeaf = tree_.node(child).isLeaf();
-      const Matrix& childCpv = childIsLeaf ? leafCpv_[child] : nodeCpv_[child];
+      const ConstMatrixView childCpv =
+          childIsLeaf ? leafCpv_[child].rowBlock(h0, len)
+                      : ConstMatrixView(ws.nodeCpv[child].rowBlock(0, len));
       const int omegaIdx = tree_.node(child).mark != 0 ? cls.omegaForeground
                                                        : cls.omegaBackground;
-      const Matrix& prop = propagator(child, omegaIdx);
-      propagateBranch(prop, childCpv);
-      linalg::hadamardInPlace({tmp_.data(), tmp_.size()},
-                              {cpv.data(), cpv.size()});
+      // Prebuilt before the parallel region; read-only here.
+      const Matrix& prop = *propPtr_[propIndex(child, omegaIdx)];
+      const MatrixView out = ws.tmp.rowBlock(0, len);
+      propagateBranch(prop, childCpv, out, ws);
+      linalg::hadamardInPlace(ConstMatrixView(out).span(), cpv.span());
       if (!childIsLeaf)
-        for (int h = 0; h < npat_; ++h) scaleLog[h] += nodeScaleLog_[child][h];
+        for (int h = 0; h < len; ++h)
+          scaleLog[h] += ws.nodeScaleLog[child][h];
     }
 
     // Underflow rescue: renormalize any pattern row whose maximum dropped
     // below the threshold, remembering the removed factor in log space.
-    for (int h = 0; h < npat_; ++h) {
+    for (int h = 0; h < len; ++h) {
       double mx = 0.0;
-      const double* row = cpv.row(h);
+      double* row = cpv.row(h);
       for (int i = 0; i < n_; ++i) mx = std::max(mx, row[i]);
       if (mx > 0.0 && mx < options_.scalingThreshold) {
         const double inv = 1.0 / mx;
-        double* wrow = cpv.row(h);
-        for (int i = 0; i < n_; ++i) wrow[i] *= inv;
+        for (int i = 0; i < n_; ++i) row[i] *= inv;
         scaleLog[h] += std::log(mx);
       }
     }
   }
 
-  // Root: mix over states with the equilibrium frequencies.
-  const Matrix& rootCpv = nodeCpv_[root];
-  for (int h = 0; h < npat_; ++h) {
+  // Root: mix over states with the equilibrium frequencies.  Each block owns
+  // its [h0, h0 + len) slice of the class result rows, so concurrent blocks
+  // never write the same element.
+  const ConstMatrixView rootCpv = ws.nodeCpv[root].rowBlock(0, len);
+  for (int h = 0; h < len; ++h) {
     double f = 0.0;
     const double* row = rootCpv.row(h);
     for (int i = 0; i < n_; ++i) f += pi_[i] * row[i];
-    classLik_[m][h] = f;
-    classScaleLog_[m][h] = nodeScaleLog_[root][h];
+    classLik_[m][h0 + h] = f;
+    classScaleLog_[m][h0 + h] = ws.nodeScaleLog[root][h];
   }
 }
 
-void BranchSiteLikelihood::computeClassLikelihoods(const MixtureSpec& spec) {
-  spec.validate(n_);
-  numClasses_ = spec.numClasses();
-  numOmegas_ = spec.numOmegas();
-  activeClasses_ = spec.classes;
-  activeOmegas_ = spec.omegas;
-  classProp_.resize(numClasses_);
-  classLik_.resize(numClasses_);
-  classScaleLog_.resize(numClasses_);
-  for (int m = 0; m < numClasses_; ++m) {
-    classProp_[m] = spec.classes[m].proportion;
-    classLik_[m].assign(npat_, 0.0);
-    classScaleLog_[m].assign(npat_, 0.0);
+void BranchSiteLikelihood::prepareEigenSystems(const MixtureSpec& spec) {
+  if (options_.cachePropagators) {
+    if (flushCacheNextEval_) {
+      persistentProps_.clear();
+      flushCacheNextEval_ = false;
+    }
+    // Identical substitution parameters since the last evaluation mean the
+    // eigensystems — and every cached propagator derived from them — are
+    // still valid.  This is what makes optimizer line searches and
+    // finite-difference gradients (which move few coordinates per call)
+    // skip nearly all eigen-reconstruction work.
+    if (!eigenSystems_.empty() && spec.omegas == cachedSpecOmegas_ &&
+        spec.scaledS == cachedSpecScaledS_)
+      return;
+    persistentProps_.clear();
   }
 
   // Eigendecompose once per *distinct* omega value (e.g. under the model A
@@ -237,11 +321,58 @@ void BranchSiteLikelihood::computeClassLikelihoods(const MixtureSpec& spec) {
     omegaToEigen_[k] = found;
   }
 
-  // Propagators depend on branch lengths and omega: rebuild lazily.
-  propCache_.resize(static_cast<std::size_t>(tree_.numNodes()) * numOmegas_);
-  propReady_.assign(propCache_.size(), 0);
+  if (options_.cachePropagators) {
+    cachedSpecOmegas_ = spec.omegas;
+    cachedSpecScaledS_ = spec.scaledS;
+  }
+}
 
-  for (int m = 0; m < numClasses_; ++m) pruneClass(m);
+void BranchSiteLikelihood::computeClassLikelihoods(const MixtureSpec& spec) {
+  spec.validate(n_);
+  numClasses_ = spec.numClasses();
+  numOmegas_ = spec.numOmegas();
+  activeClasses_ = spec.classes;
+  activeOmegas_ = spec.omegas;
+  classProp_.resize(numClasses_);
+  classLik_.resize(numClasses_);
+  classScaleLog_.resize(numClasses_);
+  for (int m = 0; m < numClasses_; ++m) {
+    classProp_[m] = spec.classes[m].proportion;
+    classLik_[m].assign(npat_, 0.0);
+    classScaleLog_[m].assign(npat_, 0.0);
+  }
+
+  prepareEigenSystems(spec);
+
+  // Propagators depend on branch lengths and omega: rebuild lazily.
+  const std::size_t propSlots =
+      static_cast<std::size_t>(tree_.numNodes()) * numOmegas_;
+  if (!options_.cachePropagators) propCache_.resize(propSlots);
+  propPtr_.assign(propSlots, nullptr);
+  prebuildPropagators();
+
+  // Pattern-blocked sweep: every (site class, pattern block) pair is an
+  // independent task reading shared immutable state (tree, leaf CPVs,
+  // prebuilt propagators) and writing its own slice of the class results.
+  const int numBlocks = (npat_ + blockMax_ - 1) / blockMax_;
+  const int numTasks = numClasses_ * numBlocks;
+  const auto runTask = [&](int task, int worker) {
+    const int m = task / numBlocks;
+    const int b = task % numBlocks;
+    const int h0 = b * blockMax_;
+    pruneClassBlock(m, h0, std::min(blockMax_, npat_ - h0),
+                    workspaces_[worker]);
+  };
+  if (pool_) {
+    pool_->parallelFor(numTasks, runTask);
+  } else {
+    for (int task = 0; task < numTasks; ++task) runTask(task, 0);
+  }
+  // Deterministic merge of the per-worker counters.
+  for (auto& ws : workspaces_) {
+    counters_.patternPropagations += ws.patternPropagations;
+    ws.patternPropagations = 0;
+  }
   ++counters_.evaluations;
 }
 

@@ -21,6 +21,8 @@
 // speedups isolate exactly the optimizations the paper describes.
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "bio/genetic_code.hpp"
@@ -30,6 +32,7 @@
 #include "model/branch_site.hpp"
 #include "model/site_mixture.hpp"
 #include "seqio/alignment.hpp"
+#include "support/parallel.hpp"
 #include "tree/tree.hpp"
 
 namespace slim::lik {
@@ -40,6 +43,10 @@ struct EvalCounters {
   std::int64_t eigenDecompositions = 0;   ///< symmetric eigenproblems solved
   std::int64_t propagatorBuilds = 0;      ///< P(t) / M / Yhat constructions
   std::int64_t patternPropagations = 0;   ///< branch x class x pattern ops
+  /// Persistent propagator-cache traffic (only counted when
+  /// LikelihoodOptions::cachePropagators is on).
+  std::int64_t propagatorCacheHits = 0;
+  std::int64_t propagatorCacheMisses = 0;
 };
 
 /// Per-site (pattern) posterior probabilities of the site classes given the
@@ -98,19 +105,78 @@ class BranchSiteLikelihood {
   const EvalCounters& counters() const noexcept { return counters_; }
   void resetCounters() noexcept { counters_ = {}; }
 
+  /// Threads actually used by the pattern-block sweep.
+  int numThreads() const noexcept {
+    return pool_ ? pool_->numThreads() : 1;
+  }
+  /// Entries currently held by the persistent propagator cache.
+  std::size_t cachedPropagators() const noexcept {
+    return persistentProps_.size();
+  }
+
  private:
+  // Per-worker scratch for one pattern-block pruning sweep.  Everything a
+  // sweep mutates lives here, so concurrent blocks share no mutable state;
+  // block results land in classLik_/classScaleLog_ slots addressed by
+  // pattern index, which keeps the final reduction order — and therefore
+  // the log-likelihood — independent of the thread count.
+  struct PruneWorkspace {
+    std::vector<linalg::Matrix> nodeCpv;  // per node: blockMax x n
+    std::vector<std::vector<double>> nodeScaleLog;  // per node: blockMax
+    linalg::Matrix tmp;                   // propagation scratch (blockMax x n)
+    linalg::Matrix applyPiW;              // FactoredApply scratch
+    linalg::Matrix applyU;                // FactoredApply scratch
+    linalg::Vector vecTmp;                // symv scratch (n)
+    std::int64_t patternPropagations = 0;
+  };
+
+  // Persistent propagator-cache key: eigensystem identity (index into
+  // eigenSystems_, stable while the substitution parameters are unchanged)
+  // plus the branch length's bit pattern (possibly snapped to cacheQuantum).
+  struct PropKey {
+    int eigen = 0;
+    std::uint64_t tBits = 0;
+    bool operator==(const PropKey&) const = default;
+  };
+  struct PropKeyHash {
+    std::size_t operator()(const PropKey& k) const noexcept {
+      std::uint64_t h = k.tBits * 0x9E3779B97F4A7C15ull;
+      h ^= static_cast<std::uint64_t>(k.eigen) + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   // Class-conditional pattern likelihoods: fills classLik_[m][h] (scaled)
   // and classScaleLog_[m][h] (log of the removed scale).
   void computeClassLikelihoods(const model::MixtureSpec& spec);
 
-  // One pruning sweep for site class m.
-  void pruneClass(int m);
+  // (Re)build eigenSystems_ / omegaToEigen_ for the spec, reusing them — and
+  // keeping the propagator cache — when the spec is unchanged since the last
+  // evaluation and caching is enabled.
+  void prepareEigenSystems(const model::MixtureSpec& spec);
+
+  // Build every propagator the sweep will read (serial, so the parallel
+  // region only ever reads propPtr_).
+  void prebuildPropagators();
+
+  // One pruning sweep for site class m over patterns [h0, h0 + len).
+  void pruneClassBlock(int m, int h0, int len, PruneWorkspace& ws);
 
   // Ensure the propagator for (branch node, omega class) is built.
   const linalg::Matrix& propagator(int node, int omegaIdx);
 
-  // Propagate child CPVs through one branch into tmp_ (strategy dispatch).
-  void propagateBranch(const linalg::Matrix& prop, const linalg::Matrix& childCpv);
+  // Reconstruct the strategy's propagator (P, M or Yhat) at branch length t.
+  void buildPropagator(const expm::CodonEigenSystem& es, double t,
+                       linalg::Matrix& out);
+
+  // Propagate a panel of child CPVs through one branch (strategy dispatch).
+  void propagateBranch(const linalg::Matrix& prop,
+                       linalg::ConstMatrixView childCpv, linalg::MatrixView out,
+                       PruneWorkspace& ws);
+
+  std::size_t propIndex(int node, int omegaIdx) const noexcept {
+    return static_cast<std::size_t>(node) * numOmegas_ + omegaIdx;
+  }
 
   const bio::GeneticCode& gc_;
   seqio::SitePatterns patterns_;
@@ -121,17 +187,16 @@ class BranchSiteLikelihood {
 
   int n_ = 0;             // codon states (61)
   int npat_ = 0;          // site patterns
+  int blockMax_ = 0;      // rows per pattern block (last block may be short)
   double totalWeight_ = 0;
   std::vector<int> branchNodes_;
 
   // Leaf CPVs (pattern-major: row h is the length-n CPV of pattern h).
   std::vector<linalg::Matrix> leafCpv_;   // indexed by node id (leaves only)
-  std::vector<linalg::Matrix> nodeCpv_;   // per node work CPVs for one class
-  std::vector<std::vector<double>> nodeScaleLog_;  // per node, per pattern
-  linalg::Matrix tmp_;                    // propagation scratch (npat x n)
-  linalg::Vector vecTmp_;                 // symv/gemv scratch (n)
-  linalg::Matrix applyPiW_;               // FactoredApply scratch (npat x n)
-  linalg::Matrix applyU_;                 // FactoredApply scratch (npat x n)
+
+  // Parallel sweep machinery.
+  std::unique_ptr<support::ThreadPool> pool_;   // null: single-threaded
+  std::vector<PruneWorkspace> workspaces_;      // one per worker
 
   // Per-evaluation state, set from the active MixtureSpec.
   int numClasses_ = 0;
@@ -140,9 +205,16 @@ class BranchSiteLikelihood {
   std::vector<double> activeOmegas_;
   std::vector<expm::CodonEigenSystem> eigenSystems_;  // per distinct omega
   std::vector<int> omegaToEigen_;
-  std::vector<linalg::Matrix> propCache_;   // (branch node x omega) -> matrix
-  std::vector<std::uint8_t> propReady_;
+  std::vector<linalg::Matrix> propCache_;  // uncached-mode propagator storage
+  std::vector<const linalg::Matrix*> propPtr_;  // (node x omega) -> built prop
   expm::ExpmWorkspace expmWs_;
+  linalg::Matrix transposeScratch_;  // BundledGemm builds P here, stores P^T
+
+  // Persistent propagator cache (cachePropagators mode).
+  std::unordered_map<PropKey, linalg::Matrix, PropKeyHash> persistentProps_;
+  bool flushCacheNextEval_ = false;
+  std::vector<double> cachedSpecOmegas_;
+  std::vector<linalg::Matrix> cachedSpecScaledS_;
 
   // Class-conditional results.
   std::vector<std::vector<double>> classLik_;

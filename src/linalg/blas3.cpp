@@ -8,7 +8,7 @@ namespace {
 
 // PAML matby transcription: dot-product form with strided column access of B.
 // This is the memory access pattern of CodeML's hand-rolled matrix product.
-void gemmNaive(const Matrix& a, const Matrix& b, Matrix& c) {
+void gemmNaive(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = 0; j < n; ++j) {
@@ -21,7 +21,7 @@ void gemmNaive(const Matrix& a, const Matrix& b, Matrix& c) {
 // Optimized gemm: i-k-j (saxpy) form. Every inner loop streams a contiguous
 // row of B and of C, which GCC vectorizes with FMA; a small k-unroll reuses
 // the C row from registers/L1 across four B rows.
-void gemmOpt(const Matrix& a, const Matrix& b, Matrix& c) {
+void gemmOpt(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
   for (std::size_t i = 0; i < m; ++i) {
     double* SLIM_RESTRICT crow = c.row(i);
@@ -47,7 +47,7 @@ void gemmOpt(const Matrix& a, const Matrix& b, Matrix& c) {
 }
 
 // Naive A * B^T: dot products of rows; access is contiguous but unassisted.
-void gemmNTNaive(const Matrix& a, const Matrix& b, Matrix& c) {
+void gemmNTNaive(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   const std::size_t m = a.rows(), kk = a.cols(), n = b.rows();
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = 0; j < n; ++j) {
@@ -58,8 +58,11 @@ void gemmNTNaive(const Matrix& a, const Matrix& b, Matrix& c) {
 }
 
 // Optimized A * B^T: unrolled multi-accumulator dot products over contiguous
-// rows of both operands.
-void gemmNTOpt(const Matrix& a, const Matrix& b, Matrix& c) {
+// rows of both operands.  For large pattern panels the saxpy-form gemm
+// against a pre-transposed B is substantially faster (it vectorizes as
+// streaming FMAs instead of horizontal reductions); the likelihood engine
+// therefore stores BundledGemm propagators transposed and calls gemm.
+void gemmNTOpt(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   const std::size_t m = a.rows(), kk = a.cols(), n = b.rows();
   for (std::size_t i = 0; i < m; ++i) {
     const double* SLIM_RESTRICT arow = a.row(i);
@@ -83,26 +86,37 @@ void gemmNTOpt(const Matrix& a, const Matrix& b, Matrix& c) {
 
 }  // namespace
 
-void gemm(Flavor flavor, const Matrix& a, const Matrix& b, Matrix& c) {
+void gemm(Flavor flavor, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   SLIM_REQUIRE(a.cols() == b.rows(), "gemm: inner dimension mismatch");
   SLIM_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
                "gemm: output shape mismatch");
-  SLIM_REQUIRE(&c != &a && &c != &b, "gemm: output must not alias inputs");
+  SLIM_REQUIRE(c.data() != a.data() && c.data() != b.data(),
+               "gemm: output must not alias inputs");
   if (flavor == Flavor::Naive)
     gemmNaive(a, b, c);
   else
     gemmOpt(a, b, c);
 }
 
-void gemmNT(Flavor flavor, const Matrix& a, const Matrix& b, Matrix& c) {
+void gemm(Flavor flavor, const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm(flavor, a.view(), b.view(), c.view());
+}
+
+void gemmNT(Flavor flavor, ConstMatrixView a, ConstMatrixView b,
+            MatrixView c) {
   SLIM_REQUIRE(a.cols() == b.cols(), "gemmNT: inner dimension mismatch");
   SLIM_REQUIRE(c.rows() == a.rows() && c.cols() == b.rows(),
                "gemmNT: output shape mismatch");
-  SLIM_REQUIRE(&c != &a && &c != &b, "gemmNT: output must not alias inputs");
+  SLIM_REQUIRE(c.data() != a.data() && c.data() != b.data(),
+               "gemmNT: output must not alias inputs");
   if (flavor == Flavor::Naive)
     gemmNTNaive(a, b, c);
   else
     gemmNTOpt(a, b, c);
+}
+
+void gemmNT(Flavor flavor, const Matrix& a, const Matrix& b, Matrix& c) {
+  gemmNT(flavor, a.view(), b.view(), c.view());
 }
 
 void syrk(Flavor flavor, const Matrix& y, Matrix& c) {
@@ -111,7 +125,7 @@ void syrk(Flavor flavor, const Matrix& y, Matrix& c) {
   SLIM_REQUIRE(&c != &y, "syrk: output must not alias input");
   if (flavor == Flavor::Naive) {
     // What CodeML effectively does: a full general product, 2 n^2 k flops.
-    gemmNTNaive(y, y, c);
+    gemmNTNaive(y.view(), y.view(), c.view());
     return;
   }
   // Upper triangle only (n^2 k flops), then mirror.

@@ -14,9 +14,16 @@ namespace slim::linalg {
 /// C := A * B.  Shapes: A (m x k), B (k x n), C (m x n); C is overwritten.
 void gemm(Flavor flavor, const Matrix& a, const Matrix& b, Matrix& c);
 
+/// Panel form over row-block views (the pattern-blocked engine's kernel);
+/// numerically identical to the Matrix overload for any row partition.
+void gemm(Flavor flavor, ConstMatrixView a, ConstMatrixView b, MatrixView c);
+
 /// C := A * B^T.  Shapes: A (m x k), B (n x k), C (m x n); C is overwritten.
 /// This is the exact Eq. 9 operation with A = X e^{Lambda t} and B = X.
 void gemmNT(Flavor flavor, const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Panel form of gemmNT over row-block views.
+void gemmNT(Flavor flavor, ConstMatrixView a, ConstMatrixView b, MatrixView c);
 
 /// C := Y * Y^T (symmetric rank-k update, full result stored).
 /// Shapes: Y (n x k), C (n x n); C is overwritten.

@@ -17,6 +17,10 @@ void scaleSandwich(const Matrix& a, std::span<const double> l,
 }
 
 void scaleCols(const Matrix& a, std::span<const double> d, Matrix& b) {
+  scaleCols(a.view(), d, b.view());
+}
+
+void scaleCols(ConstMatrixView a, std::span<const double> d, MatrixView b) {
   SLIM_REQUIRE(d.size() == a.cols(), "scaleCols: diagonal size mismatch");
   SLIM_REQUIRE(b.rows() == a.rows() && b.cols() == a.cols(),
                "scaleCols: output shape mismatch");

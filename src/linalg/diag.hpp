@@ -18,6 +18,9 @@ void scaleSandwich(const Matrix& a, std::span<const double> l,
 /// (Step 3 of Sec. III-A: Y = X e^{Lambda t/2}.)
 void scaleCols(const Matrix& a, std::span<const double> d, Matrix& b);
 
+/// Panel form of scaleCols over row-block views.
+void scaleCols(ConstMatrixView a, std::span<const double> d, MatrixView b);
+
 /// B := diag(d) * A.  d has size rows.  B may alias A.
 void scaleRows(std::span<const double> d, const Matrix& a, Matrix& b);
 

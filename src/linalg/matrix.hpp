@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <initializer_list>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "support/require.hpp"
@@ -53,6 +54,46 @@ class Vector {
  private:
   std::vector<double> data_;
 };
+
+/// Non-owning view of a contiguous row block of a row-major matrix (stride
+/// equals cols).  Used by the pattern-blocked likelihood engine to hand
+/// panels of conditional probability vectors to the level-3 kernels without
+/// copying.  The referenced storage must outlive the view.  T is double
+/// (mutable view) or const double (read-only view).
+template <class T>
+class BasicMatrixView {
+ public:
+  BasicMatrixView() = default;
+  BasicMatrixView(T* data, std::size_t rows, std::size_t cols) noexcept
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  /// A read-only view converts implicitly from a mutable one.
+  template <class U>
+    requires(std::is_const_v<T> && std::is_same_v<U, std::remove_const_t<T>>)
+  /* implicit */ BasicMatrixView(BasicMatrixView<U> v) noexcept
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return rows_ * cols_; }
+
+  T& operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * cols_ + j];
+  }
+  T* data() const noexcept { return data_; }
+  T* row(std::size_t i) const noexcept { return data_ + i * cols_; }
+  std::span<T> rowSpan(std::size_t i) const noexcept {
+    return {row(i), cols_};
+  }
+  std::span<T> span() const noexcept { return {data_, size()}; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0, cols_ = 0;
+};
+
+using MatrixView = BasicMatrixView<double>;
+using ConstMatrixView = BasicMatrixView<const double>;
 
 /// Dense row-major matrix of doubles.
 class Matrix {
@@ -119,6 +160,21 @@ class Matrix {
   std::span<const double> rowSpan(std::size_t i) const noexcept { return {row(i), cols_}; }
 
   void fill(double v) noexcept { for (auto& x : data_) x = v; }
+
+  /// View of the whole matrix.
+  MatrixView view() noexcept { return {data_.data(), rows_, cols_}; }
+  ConstMatrixView view() const noexcept { return {data_.data(), rows_, cols_}; }
+
+  /// View of rows [first, first + count); the block is contiguous because
+  /// storage is row-major.
+  MatrixView rowBlock(std::size_t first, std::size_t count) noexcept {
+    SLIM_REQUIRE(first + count <= rows_, "rowBlock out of range");
+    return {data_.data() + first * cols_, count, cols_};
+  }
+  ConstMatrixView rowBlock(std::size_t first, std::size_t count) const {
+    SLIM_REQUIRE(first + count <= rows_, "rowBlock out of range");
+    return {data_.data() + first * cols_, count, cols_};
+  }
 
   /// Reshape to (rows, cols), reusing storage; contents are zeroed.
   void resize(std::size_t rows, std::size_t cols) {

@@ -1,0 +1,133 @@
+#pragma once
+// Minimal persistent thread pool for the pattern-blocked likelihood engine.
+//
+// The pool runs index-based task sets (`parallelFor`): tasks are pulled from
+// a shared atomic counter (dynamic chunked scheduling), and the calling
+// thread participates as worker 0, so a pool of size 1 degenerates to a
+// plain serial loop with no synchronization.  Each task receives its task
+// index and the executing worker's index; callers that need mutable state
+// give each worker its own workspace slot, so no locking is required inside
+// tasks and — because results land in slots addressed by *task* index —
+// outputs are identical for any thread count.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slim::support {
+
+/// Map a requested thread count onto an actual one: 0 means "use the
+/// hardware concurrency", anything else is clamped below by 1.
+inline int resolveThreadCount(int requested) noexcept {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+class ThreadPool {
+ public:
+  /// Spawns numThreads - 1 workers; the thread calling parallelFor is the
+  /// pool's worker 0.  numThreads < 1 is treated as 1.
+  explicit ThreadPool(int numThreads) {
+    const int n = numThreads < 1 ? 1 : numThreads;
+    workers_.reserve(n - 1);
+    for (int t = 1; t < n; ++t)
+      workers_.emplace_back([this, t] { workerLoop(t); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  int numThreads() const noexcept {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Run fn(task, worker) for every task in [0, numTasks).  Blocks until all
+  /// tasks have completed; the first exception thrown by any task is
+  /// rethrown here (remaining tasks still run to completion).
+  void parallelFor(int numTasks, const std::function<void(int, int)>& fn) {
+    if (numTasks <= 0) return;
+    if (workers_.empty()) {
+      for (int i = 0; i < numTasks; ++i) fn(i, 0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      fn_ = &fn;
+      numTasks_ = numTasks;
+      nextTask_.store(0, std::memory_order_relaxed);
+      pendingWorkers_ = static_cast<int>(workers_.size());
+      ++generation_;
+    }
+    wake_.notify_all();
+    runTasks(0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this] { return pendingWorkers_ == 0; });
+    fn_ = nullptr;
+    if (firstError_) {
+      std::exception_ptr e = firstError_;
+      firstError_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void workerLoop(int worker) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      runTasks(worker);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pendingWorkers_ == 0) drained_.notify_one();
+      }
+    }
+  }
+
+  void runTasks(int worker) {
+    for (;;) {
+      const int i = nextTask_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= numTasks_) return;
+      try {
+        (*fn_)(i, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!firstError_) firstError_ = std::current_exception();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable drained_;
+  const std::function<void(int, int)>* fn_ = nullptr;
+  int numTasks_ = 0;
+  std::atomic<int> nextTask_{0};
+  int pendingWorkers_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr firstError_;
+};
+
+}  // namespace slim::support

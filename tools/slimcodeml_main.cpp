@@ -23,8 +23,11 @@ Control file template:
     seqfile  = gene.fasta      * FASTA or sequential PHYLIP
     treefile = gene.nwk        * Newick, one branch marked #1
     outfile  = results.txt     * '-' or omitted: stdout
-    engine   = slim            * slim | codeml (baseline kernels)
+    engine   = slim            * slim | slim-parallel | codeml (baseline)
     model    = branch-site     * branch-site (H0 vs H1) | site (M1a vs M2a)
+    threads  = 0               * likelihood threads (0: all cores)
+    blockSize = 64             * site patterns per work block
+    cachePropagators = 1       * persistent (omega, branch-length) cache
     CodonFreq = 2              * 0 equal, 1 F1x4, 2 F3x4, 3 F61
     maxIterations = 200
     kappa  = 2.0               * initial parameter values
