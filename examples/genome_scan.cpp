@@ -1,40 +1,45 @@
-// Mini-Selectome: a genome-scale batch of branch-site tests.  Simulates a
-// set of genes — some evolving under positive selection on a marked branch,
-// some neutrally — runs the full H0/H1 LRT on each with the SlimCodeML
-// engine, and summarizes detection performance (the paper's motivating
-// use case: "CodeML is also the central component for populating the
-// Selectome database").
+// Mini-Selectome: a genome-scale batch of branch-site tests on the
+// batch-first API.  Simulates a set of genes — some evolving under positive
+// selection on a marked branch, some neutrally — then runs every full H0/H1
+// LRT twice: sequentially through per-gene BranchSiteAnalysis (the PR-1
+// workflow) and through core::BatchAnalysis, which fans the 2N independent
+// fits across the worker pool.  The two paths are asserted bit-identical,
+// so the wall-clock comparison printed at the end isolates exactly the
+// batch scheduler's contribution (the paper's motivating use case: "CodeML
+// is also the central component for populating the Selectome database").
 //
-// Usage: genome_scan [numGenes] [seed]
+// Usage: genome_scan [numGenes] [seed] [threads]   (threads 0: all cores)
 
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
 
-#include "core/analysis.hpp"
+#include "core/batch.hpp"
 #include "sim/datasets.hpp"
 
 int main(int argc, char** argv) {
   using namespace slim;
   const int numGenes = argc > 1 ? std::atoi(argv[1]) : 8;
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 0;
 
   const auto& gc = bio::GeneticCode::universal();
   core::FitOptions options;
   options.bfgs.maxIterations = 12;
 
-  std::cout << "gene   truth      2*dlnL     p(chi2_1)  omega2_hat  verdict\n";
-
-  int truePositives = 0, falsePositives = 0, positives = 0, negatives = 0;
-  double totalSeconds = 0;
-
+  // Simulate the gene set: half under selection, half under the null.
+  struct Gene {
+    seqio::CodonAlignment codons;
+    tree::Tree tree;
+    bool underSelection;
+  };
+  std::vector<Gene> genes;
   for (int g = 0; g < numGenes; ++g) {
     sim::Rng rng(seed + 1000 * g);
     auto tree = sim::yuleTree(6, rng);
     sim::pickForegroundBranch(tree, rng);
     const auto pi = sim::randomCodonFrequencies(gc.numSense(), 5, rng);
 
-    // Half the genes evolve under selection, half under the null.
     const bool underSelection = (g % 2 == 0);
     model::BranchSiteParams truth;
     truth.kappa = 2.0;
@@ -46,30 +51,73 @@ int main(int argc, char** argv) {
         gc, tree, truth,
         underSelection ? model::Hypothesis::H1 : model::Hypothesis::H0,
         /*numCodons=*/120, pi, rng);
-    const auto codons = seqio::encodeCodons(simOut.alignment, gc);
-
-    core::BranchSiteAnalysis analysis(codons, tree, core::EngineKind::Slim,
-                                      options);
-    const auto test = analysis.run();
-    totalSeconds += test.totalSeconds;
-
-    const bool detected = test.lrt.significantAt(0.05);
-    (underSelection ? positives : negatives)++;
-    if (detected && underSelection) ++truePositives;
-    if (detected && !underSelection) ++falsePositives;
-
-    std::cout << std::left << std::setw(7) << g << std::setw(11)
-              << (underSelection ? "selected" : "neutral") << std::setw(11)
-              << std::setprecision(4) << test.lrt.statistic << std::setw(11)
-              << test.lrt.pChi2 << std::setw(12) << test.h1.params.omega2
-              << (detected ? "DETECTED" : "-") << '\n';
+    genes.push_back({seqio::encodeCodons(simOut.alignment, gc),
+                     std::move(tree), underSelection});
   }
 
-  std::cout << "\nSummary over " << numGenes << " genes ("
-            << std::setprecision(3) << totalSeconds << " s total):\n"
+  // Pass 1: the sequential per-gene workflow (one BranchSiteAnalysis each).
+  std::vector<core::PositiveSelectionTest> sequential;
+  double sequentialSeconds = 0;
+  for (const auto& gene : genes) {
+    core::BranchSiteAnalysis analysis(gene.codons, gene.tree,
+                                      core::EngineKind::Slim, options);
+    sequential.push_back(analysis.run());
+    sequentialSeconds += sequential.back().totalSeconds;
+  }
+
+  // Pass 2: the same genes through the batch scheduler.
+  core::BatchOptions batchOptions;
+  batchOptions.fit = options;
+  batchOptions.fit.tuning.numThreads = threads;
+  core::BatchAnalysis batch(core::EngineKind::Slim, batchOptions);
+  for (const auto& gene : genes) batch.addGene(gene.codons, gene.tree);
+  const auto tests = batch.runAll();
+
+  // The whole result must match, not just the likelihoods: parameter
+  // estimates, branch lengths and NEB posteriors would each expose a
+  // scheduling-order leak that equal lnLs could mask.
+  const auto sameFit = [](const core::FitResult& a, const core::FitResult& b) {
+    return a.lnL == b.lnL && a.params.kappa == b.params.kappa &&
+           a.params.omega0 == b.params.omega0 &&
+           a.params.omega2 == b.params.omega2 && a.params.p0 == b.params.p0 &&
+           a.params.p1 == b.params.p1 && a.branchLengths == b.branchLengths;
+  };
+
+  std::cout << "gene   truth      2*dlnL     p(chi2_1)  omega2_hat  verdict\n";
+  int truePositives = 0, falsePositives = 0, positives = 0, negatives = 0;
+  bool identical = true;
+  for (int g = 0; g < numGenes; ++g) {
+    const auto& test = tests[g];
+    identical = identical && sameFit(test.h0, sequential[g].h0) &&
+                sameFit(test.h1, sequential[g].h1) &&
+                test.posteriors.positiveSelectionBySite ==
+                    sequential[g].posteriors.positiveSelectionBySite;
+
+    const bool detected = test.lrt.significantAt(0.05);
+    (genes[g].underSelection ? positives : negatives)++;
+    if (detected && genes[g].underSelection) ++truePositives;
+    if (detected && !genes[g].underSelection) ++falsePositives;
+
+    std::cout << std::left << std::setw(7) << g << std::setw(11)
+              << (genes[g].underSelection ? "selected" : "neutral")
+              << std::setw(11) << std::setprecision(4) << test.lrt.statistic
+              << std::setw(11) << test.lrt.pChi2 << std::setw(12)
+              << test.h1.params.omega2 << (detected ? "DETECTED" : "-")
+              << '\n';
+  }
+
+  const auto& info = batch.lastRun();
+  std::cout << "\nSummary over " << numGenes << " genes:\n"
             << "  detected " << truePositives << "/" << positives
             << " genes under selection\n"
             << "  false alarms on " << falsePositives << "/" << negatives
-            << " neutral genes (5% level)\n";
-  return 0;
+            << " neutral genes (5% level)\n"
+            << "  batch vs sequential (lnL, params, posteriors): "
+            << (identical ? "bit-identical" : "MISMATCH") << '\n'
+            << std::setprecision(3) << "  sequential: " << sequentialSeconds
+            << " s;  batch: " << info.seconds << " s on " << info.workers
+            << " workers (" << (info.taskLevel ? "task" : "pattern")
+            << "-level), speedup " << std::setprecision(2)
+            << sequentialSeconds / info.seconds << "x\n";
+  return identical ? 0 : 1;
 }

@@ -1,166 +1,41 @@
 #include "core/analysis.hpp"
 
-#include <chrono>
-#include <cmath>
-
-#include "opt/transforms.hpp"
-#include "sim/rng.hpp"
 #include "support/require.hpp"
 
 namespace slim::core {
 
-using model::BranchSiteParams;
 using model::Hypothesis;
-
-namespace {
-
-/// Packing/unpacking of the optimization vector:
-///   [ kappa~, omega0~, (omega2~ under H1), u, v, t~_1 .. t~_B ]
-/// with log / logistic / simplex transforms (see opt/transforms.hpp).
-class ParameterPacking {
- public:
-  ParameterPacking(Hypothesis h, int numBranches)
-      : h1_(h == Hypothesis::H1),
-        numBranches_(numBranches),
-        kappa_(opt::Transform::logAbove(0.0)),
-        omega0_(opt::Transform::logistic(0.0, 1.0)),
-        omega2_(opt::Transform::logAbove(1.0)),
-        // Branch lengths bounded in (0, 50] expected substitutions per
-        // codon, PAML's own bound; keeps line-search trial points sane.
-        branch_(opt::Transform::logistic(0.0, 50.0)) {}
-
-  int dim() const noexcept { return (h1_ ? 5 : 4) + numBranches_; }
-  int branchOffset() const noexcept { return h1_ ? 5 : 4; }
-
-  std::vector<double> pack(const BranchSiteParams& p,
-                           std::span<const double> lengths) const {
-    std::vector<double> x(dim());
-    x[0] = kappa_.toInternal(p.kappa);
-    x[1] = omega0_.toInternal(p.omega0);
-    int at = 2;
-    if (h1_) x[at++] = omega2_.toInternal(p.omega2);
-    const auto [u, v] = opt::simplex2ToInternal(p.p0, p.p1);
-    x[at++] = u;
-    x[at++] = v;
-    for (int k = 0; k < numBranches_; ++k)
-      x[at + k] = branch_.toInternal(std::max(lengths[k], 1e-6));
-    return x;
-  }
-
-  BranchSiteParams unpackParams(std::span<const double> x) const {
-    BranchSiteParams p;
-    p.kappa = kappa_.toExternal(x[0]);
-    p.omega0 = omega0_.toExternal(x[1]);
-    int at = 2;
-    p.omega2 = h1_ ? omega2_.toExternal(x[at++]) : 1.0;
-    const auto [p0, p1] = opt::simplex2ToExternal(x[at], x[at + 1]);
-    p.p0 = p0;
-    p.p1 = p1;
-    return p;
-  }
-
-  double branchLength(std::span<const double> x, int k) const {
-    return branch_.toExternal(x[branchOffset() + k]);
-  }
-
- private:
-  bool h1_;
-  int numBranches_;
-  opt::Transform kappa_, omega0_, omega2_, branch_;
-};
-
-}  // namespace
 
 BranchSiteAnalysis::BranchSiteAnalysis(const seqio::CodonAlignment& alignment,
                                        const tree::Tree& tree,
                                        EngineKind engine, FitOptions options)
-    : alignment_(alignment),
-      patterns_(seqio::compressPatterns(alignment)),
-      tree_(tree),
-      engine_(engine),
-      options_(options) {
-  pi_ = model::estimateCodonFrequencies(alignment_, options_.frequencyModel);
+    : context_(AnalysisContext::create(alignment, tree, engine,
+                                       std::move(options))) {}
+
+BranchSiteAnalysis::BranchSiteAnalysis(
+    std::shared_ptr<const AnalysisContext> context)
+    : context_(std::move(context)) {
+  SLIM_REQUIRE(context_ != nullptr, "BranchSiteAnalysis: null context");
 }
 
 FitResult BranchSiteAnalysis::fit(Hypothesis hypothesis) {
-  const auto t0 = std::chrono::steady_clock::now();
-
-  lik::BranchSiteLikelihood eval(
-      alignment_, patterns_, pi_, tree_, hypothesis,
-      resolvedEngineOptions(engine_, options_.tuning));
-  if (!options_.useTreeBranchLengths)
-    eval.setAllBranchLengths(options_.initialBranchLength);
-
-  const int numBranches = eval.numBranches();
-  const ParameterPacking packing(hypothesis, numBranches);
-
-  BranchSiteParams start = options_.initialParams;
-  std::vector<double> startLengths(numBranches);
-  for (int k = 0; k < numBranches; ++k) startLengths[k] = eval.branchLength(k);
-
-  if (options_.startJitterSeed != 0) {
-    // CodeML-style randomized start: multiplicative jitter on every value.
-    sim::Rng rng(options_.startJitterSeed);
-    auto jitter = [&rng](double v) { return v * std::exp(rng.uniform(-0.1, 0.1)); };
-    start.kappa = jitter(start.kappa);
-    start.omega0 = std::min(0.95, jitter(start.omega0));
-    start.omega2 = 1.0 + jitter(start.omega2 - 1.0 + 0.1);
-    for (auto& t : startLengths) t = jitter(std::max(t, 1e-3));
-  }
-
-  std::vector<double> x0 = packing.pack(start, startLengths);
-
-  const auto objective = [&](std::span<const double> x) -> double {
-    // Extreme line-search trial points can underflow a transform to its
-    // boundary (e.g. kappa == 0) or overflow a kernel; both count as
-    // infeasible and the search backtracks.
-    try {
-      const BranchSiteParams p = packing.unpackParams(x);
-      for (int k = 0; k < numBranches; ++k)
-        eval.setBranchLength(k, packing.branchLength(x, k));
-      const double lnL = eval.logLikelihood(p);
-      return std::isfinite(lnL) ? -lnL : 1e100;
-    } catch (const std::invalid_argument&) {
-      return 1e100;
-    } catch (const std::runtime_error&) {
-      return 1e100;  // eigensolver non-convergence on degenerate input
-    }
-  };
-
-  const auto bfgsResult = opt::minimizeBfgs(objective, x0, options_.bfgs);
-
-  FitResult r;
-  r.hypothesis = hypothesis;
-  r.lnL = -bfgsResult.value;
-  r.params = packing.unpackParams(bfgsResult.x);
-  r.branchLengths.resize(numBranches);
-  for (int k = 0; k < numBranches; ++k)
-    r.branchLengths[k] = packing.branchLength(bfgsResult.x, k);
-  r.iterations = bfgsResult.iterations;
-  r.functionEvaluations = bfgsResult.functionEvaluations;
-  r.converged = bfgsResult.converged;
-  r.counters = eval.counters();
-  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-                  .count();
-  return r;
+  return fitHypothesis(*context_, hypothesis, context_->options(),
+                       context_->likelihoodOptions(),
+                       context_->cacheShard(AnalysisContext::shardSlot(hypothesis)));
 }
 
 PositiveSelectionTest BranchSiteAnalysis::run() {
-  PositiveSelectionTest test;
-  test.h0 = fit(Hypothesis::H0);
-  test.h1 = fit(Hypothesis::H1);
-  test.lrt = stat::likelihoodRatioTest(test.h0.lnL, test.h1.lnL, /*df=*/1.0);
-
-  // NEB site posteriors at the H1 maximum.
-  lik::BranchSiteLikelihood eval(
-      alignment_, patterns_, pi_, tree_, Hypothesis::H1,
-      resolvedEngineOptions(engine_, options_.tuning));
-  for (int k = 0; k < eval.numBranches(); ++k)
-    eval.setBranchLength(k, test.h1.branchLengths[k]);
-  test.posteriors = eval.siteClassPosteriors(test.h1.params);
-
-  test.totalSeconds = test.h0.seconds + test.h1.seconds;
-  return test;
+  FitResult h0 = fit(Hypothesis::H0);
+  FitResult h1 = fit(Hypothesis::H1);
+  // The scan reuses the H1 shard: at the maximum just fitted, every
+  // propagator it needs is already cached (when caching is on).
+  lik::EvalCounters scanCounters;
+  auto posteriors = siteScanAtFit(
+      *context_, h1, context_->likelihoodOptions(),
+      context_->cacheShard(AnalysisContext::shardSlot(Hypothesis::H1)),
+      scanCounters);
+  return makePositiveSelectionTest(std::move(h0), std::move(h1),
+                                   std::move(posteriors), scanCounters);
 }
 
 }  // namespace slim::core

@@ -1,63 +1,20 @@
 #pragma once
-// Top-level public API: fit branch-site model A under H0 and H1 by maximum
-// likelihood, perform the likelihood-ratio test for positive selection on
-// the marked foreground branch, and report per-site posterior probabilities
-// (the full CodeML branch-site workflow of paper Sec. I-A).
+// Top-level single-gene public API: fit branch-site model A under H0 and H1
+// by maximum likelihood, perform the likelihood-ratio test for positive
+// selection on the marked foreground branch, and report per-site posterior
+// probabilities (the full CodeML branch-site workflow of paper Sec. I-A).
+//
+// BranchSiteAnalysis is a thin wrapper over the shared-context machinery of
+// core/context.hpp: it owns one AnalysisContext and drives the same
+// fitHypothesis / siteScanAtFit code path that core::BatchAnalysis fans
+// across a TaskScheduler — which is why a batch run and N sequential runs
+// produce bit-identical results.  FitOptions, FitResult and
+// PositiveSelectionTest live in context.hpp and are re-exported here.
 
-#include <cstdint>
-#include <vector>
-
+#include "core/context.hpp"
 #include "core/engine.hpp"
-#include "lik/branch_site_likelihood.hpp"
-#include "model/branch_site.hpp"
-#include "model/frequencies.hpp"
-#include "opt/bfgs.hpp"
-#include "seqio/alignment.hpp"
-#include "stat/lrt.hpp"
-#include "tree/tree.hpp"
 
 namespace slim::core {
-
-struct FitOptions {
-  /// Equilibrium frequency estimator (Selectome/CodeML default: F3x4).
-  model::CodonFrequencyModel frequencyModel = model::CodonFrequencyModel::F3x4;
-  /// Optimizer controls; maxIterations is the paper's "iterations" column.
-  opt::BfgsOptions bfgs{};
-  /// Starting substitution parameters.
-  model::BranchSiteParams initialParams{};
-  /// When false, every branch starts at initialBranchLength instead of the
-  /// lengths carried by the input tree.
-  bool useTreeBranchLengths = true;
-  double initialBranchLength = 0.1;
-  /// Non-zero: multiplicatively jitter the starting parameter values with
-  /// this seed (CodeML's randomized initial values; the paper fixes the seed
-  /// "to generate comparable and reproducible results").
-  std::uint64_t startJitterSeed = 0;
-  /// Likelihood-engine tuning layered on top of the engine preset.
-  LikelihoodTuning tuning{};
-};
-
-struct FitResult {
-  model::Hypothesis hypothesis = model::Hypothesis::H0;
-  double lnL = 0;
-  model::BranchSiteParams params;
-  std::vector<double> branchLengths;  ///< Post-order branch order.
-  int iterations = 0;
-  long functionEvaluations = 0;
-  bool converged = false;
-  double seconds = 0;
-  lik::EvalCounters counters;
-};
-
-/// Output of the full H0-vs-H1 test.
-struct PositiveSelectionTest {
-  FitResult h0;
-  FitResult h1;
-  stat::LrtResult lrt;
-  /// NEB posteriors at the H1 maximum (meaningful when the LRT rejects H0).
-  lik::SiteClassPosteriors posteriors;
-  double totalSeconds = 0;
-};
 
 class BranchSiteAnalysis {
  public:
@@ -67,24 +24,29 @@ class BranchSiteAnalysis {
                      const tree::Tree& tree, EngineKind engine,
                      FitOptions options = {});
 
+  /// Wrap an existing shared context (the batch / multi-gene path).
+  explicit BranchSiteAnalysis(std::shared_ptr<const AnalysisContext> context);
+
   /// Maximize ln L under one hypothesis.
   FitResult fit(model::Hypothesis hypothesis);
 
   /// Fit both hypotheses, run the LRT and the NEB site scan.
   PositiveSelectionTest run();
 
-  const std::vector<double>& pi() const noexcept { return pi_; }
-  const seqio::SitePatterns& patterns() const noexcept { return patterns_; }
-  EngineKind engine() const noexcept { return engine_; }
-  const FitOptions& options() const noexcept { return options_; }
+  const std::vector<double>& pi() const noexcept { return context_->pi(); }
+  const seqio::SitePatterns& patterns() const noexcept {
+    return context_->patterns();
+  }
+  EngineKind engine() const noexcept { return context_->engine(); }
+  const FitOptions& options() const noexcept { return context_->options(); }
+
+  const AnalysisContext& context() const noexcept { return *context_; }
+  const std::shared_ptr<const AnalysisContext>& contextPtr() const noexcept {
+    return context_;
+  }
 
  private:
-  seqio::CodonAlignment alignment_;
-  seqio::SitePatterns patterns_;
-  std::vector<double> pi_;
-  tree::Tree tree_;
-  EngineKind engine_;
-  FitOptions options_;
+  std::shared_ptr<const AnalysisContext> context_;
 };
 
 }  // namespace slim::core

@@ -62,7 +62,9 @@ Config Config::parse(std::istream& in) {
       badLine(lineNo, "empty key or value");
 
     if (key == "seqfile") {
-      cfg.seqfile = value;
+      // Repeated entries accumulate into a multi-gene batch.
+      cfg.seqfiles.push_back(value);
+      cfg.seqfile = cfg.seqfiles.front();
     } else if (key == "treefile") {
       cfg.treefile = value;
     } else if (key == "outfile") {
@@ -86,6 +88,15 @@ Config Config::parse(std::istream& in) {
         badLine(lineNo, "blockSize must be >= 0");
     } else if (key == "cachePropagators") {
       cfg.fit.tuning.cachePropagators = parseInt(value, lineNo) != 0 ? 1 : 0;
+    } else if (key == "parallel") {
+      if (value == "auto")
+        cfg.fit.tuning.policy = ParallelPolicy::Auto;
+      else if (value == "task")
+        cfg.fit.tuning.policy = ParallelPolicy::TaskLevel;
+      else if (value == "pattern")
+        cfg.fit.tuning.policy = ParallelPolicy::PatternLevel;
+      else
+        badLine(lineNo, "parallel must be 'auto', 'task' or 'pattern'");
     } else if (key == "model") {
       if (value == "branch-site")
         cfg.analysis = AnalysisKind::BranchSite;
@@ -142,15 +153,10 @@ Config Config::parseFile(const std::string& path) {
 
 namespace {
 
-struct LoadedInputs {
-  seqio::CodonAlignment codons;
-  tree::Tree tree;
-};
-
-LoadedInputs loadInputs(const Config& config) {
-  std::ifstream seqIn(config.seqfile);
-  SLIM_REQUIRE(seqIn.good(),
-               "cannot open sequence file '" + config.seqfile + "'");
+seqio::CodonAlignment loadAlignment(const std::string& path,
+                                    bool stopCodonsAsMissing) {
+  std::ifstream seqIn(path);
+  SLIM_REQUIRE(seqIn.good(), "cannot open sequence file '" + path + "'");
   // FASTA if the first non-blank character is '>', else sequential PHYLIP.
   char first = 0;
   seqIn >> std::ws;
@@ -158,17 +164,34 @@ LoadedInputs loadInputs(const Config& config) {
   seqIn.unget();
   const auto aln = (first == '>') ? seqio::Alignment::readFasta(seqIn)
                                   : seqio::Alignment::readPhylip(seqIn);
-  LoadedInputs in;
-  in.codons = seqio::encodeCodons(aln, bio::GeneticCode::universal(),
-                                  config.stopCodonsAsMissing);
+  return seqio::encodeCodons(aln, bio::GeneticCode::universal(),
+                             stopCodonsAsMissing);
+}
 
-  std::ifstream treeIn(config.treefile);
-  SLIM_REQUIRE(treeIn.good(),
-               "cannot open tree file '" + config.treefile + "'");
+tree::Tree loadTree(const std::string& path) {
+  std::ifstream treeIn(path);
+  SLIM_REQUIRE(treeIn.good(), "cannot open tree file '" + path + "'");
   std::stringstream treeText;
   treeText << treeIn.rdbuf();
-  in.tree = tree::Tree::parseNewick(treeText.str());
-  return in;
+  return tree::Tree::parseNewick(treeText.str());
+}
+
+struct LoadedInputs {
+  seqio::CodonAlignment codons;
+  tree::Tree tree;
+};
+
+LoadedInputs loadInputs(const Config& config) {
+  return {loadAlignment(config.seqfile, config.stopCodonsAsMissing),
+          loadTree(config.treefile)};
+}
+
+/// "dir/gene-007.fasta" -> "gene-007" (the per-gene report label).
+std::string fileStem(const std::string& path) {
+  const auto slash = path.find_last_of("/\\");
+  const auto base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  return dot == std::string::npos || dot == 0 ? base : base.substr(0, dot);
 }
 
 template <class WriteReport>
@@ -194,6 +217,40 @@ PositiveSelectionTest runFromConfig(const Config& config) {
   emitReport(config,
              [&](std::ostream& os) { writeTestReport(os, test, config.engine); });
   return test;
+}
+
+BatchRunOutput runBatchFromConfig(const Config& config) {
+  SLIM_REQUIRE(config.analysis == AnalysisKind::BranchSite,
+               "runBatchFromConfig: control file requests 'model = site'");
+  SLIM_REQUIRE(!config.seqfiles.empty(), "runBatchFromConfig: no seqfiles");
+
+  const auto tree =
+      std::make_shared<const tree::Tree>(loadTree(config.treefile));
+
+  BatchOptions options;
+  options.fit = config.fit;
+  BatchAnalysis batch(config.engine, options);
+
+  BatchRunOutput out;
+  for (const auto& path : config.seqfiles) {
+    batch.addGene(loadAlignment(path, config.stopCodonsAsMissing), tree);
+    out.geneNames.push_back(fileStem(path));
+  }
+
+  out.tests = batch.runAll();
+  out.totals = batch.totals();
+  out.info = batch.lastRun();
+
+  emitReport(config, [&](std::ostream& os) {
+    for (std::size_t g = 0; g < out.tests.size(); ++g) {
+      os << "=== gene " << out.geneNames[g] << " ===\n";
+      writeTestReport(os, out.tests[g], config.engine);
+      os << '\n';
+    }
+    writeBatchSummary(os, out.tests, out.geneNames, config.engine, out.totals,
+                      out.info);
+  });
+  return out;
 }
 
 SiteModelTest runSiteModelFromConfig(const Config& config) {

@@ -10,7 +10,8 @@
 //     treefile = gene.nwk          * Newick with one #1 foreground mark
 //     outfile  = results.txt       * '-' or empty: stdout
 //     engine   = slim              * slim | slim-parallel | codeml
-//     threads  = 0                 * likelihood threads (0: all cores)
+//     threads  = 0                 * worker threads (0: all cores)
+//     parallel = auto              * auto | task | pattern (batch fan-out)
 //     blockSize = 64               * site patterns per work block
 //     cachePropagators = 1         * persistent propagator cache on/off
 //     CodonFreq = 2                * 0 equal, 1 F1x4, 2 F3x4, 3 F61
@@ -21,11 +22,17 @@
 //     p0 = 0.45
 //     p1 = 0.45
 //     cleandata = 0                * 1: treat stop codons as missing
+//
+// Multi-gene batches: repeat the `seqfile` line once per alignment (all
+// genes share the one tree), and every gene's branch-site test runs through
+// core::BatchAnalysis with the H0/H1 fits fanned across the worker pool.
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/analysis.hpp"
+#include "core/batch.hpp"
 #include "core/site_models.hpp"
 
 namespace slim::core {
@@ -38,7 +45,12 @@ enum class AnalysisKind {
 
 /// Parsed control file.
 struct Config {
+  /// First sequence file (always seqfiles.front(); kept for single-gene
+  /// callers).
   std::string seqfile;
+  /// Every `seqfile` entry in control-file order; more than one selects the
+  /// batch workflow.
+  std::vector<std::string> seqfiles;
   std::string treefile;
   std::string outfile;  ///< Empty or "-" writes to stdout.
   EngineKind engine = EngineKind::Slim;
@@ -61,5 +73,20 @@ PositiveSelectionTest runFromConfig(const Config& config);
 
 /// Same, for `model = site`: the M1a-vs-M2a test (no #1 mark needed).
 SiteModelTest runSiteModelFromConfig(const Config& config);
+
+/// Result of the multi-gene workflow, in seqfile order.
+struct BatchRunOutput {
+  std::vector<std::string> geneNames;  ///< Sequence-file stem per gene.
+  std::vector<PositiveSelectionTest> tests;
+  lik::EvalCounters totals;  ///< Deterministic gene-order merge of all work.
+  BatchRunInfo info;
+};
+
+/// Load every alignment named by config.seqfiles plus the shared tree, run
+/// all branch-site tests through core::BatchAnalysis (H0/H1 fits fanned
+/// across `threads` workers under the `parallel` policy), and write per-gene
+/// text reports plus a batch summary to config.outfile.  Requires
+/// analysis == BranchSite; also accepts a single seqfile.
+BatchRunOutput runBatchFromConfig(const Config& config);
 
 }  // namespace slim::core

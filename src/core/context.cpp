@@ -1,0 +1,199 @@
+#include "core/context.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "opt/transforms.hpp"
+#include "sim/rng.hpp"
+#include "support/require.hpp"
+
+namespace slim::core {
+
+using model::BranchSiteParams;
+using model::Hypothesis;
+
+AnalysisContext::AnalysisContext(seqio::CodonAlignment alignment,
+                                 std::shared_ptr<const tree::Tree> tree,
+                                 EngineKind engine, FitOptions options)
+    : alignment_(std::move(alignment)),
+      patterns_(seqio::compressPatterns(alignment_)),
+      pi_(model::estimateCodonFrequencies(alignment_, options.frequencyModel)),
+      tree_(std::move(tree)),
+      engine_(engine),
+      options_(std::move(options)),
+      cache_(std::make_shared<lik::SharedPropagatorCache>()) {
+  SLIM_REQUIRE(tree_ != nullptr, "AnalysisContext: null tree");
+}
+
+std::shared_ptr<const AnalysisContext> AnalysisContext::create(
+    const seqio::CodonAlignment& alignment, const tree::Tree& tree,
+    EngineKind engine, FitOptions options) {
+  return std::make_shared<const AnalysisContext>(
+      alignment, std::make_shared<const tree::Tree>(tree), engine,
+      std::move(options));
+}
+
+std::shared_ptr<const AnalysisContext> AnalysisContext::create(
+    seqio::CodonAlignment alignment, std::shared_ptr<const tree::Tree> tree,
+    EngineKind engine, FitOptions options) {
+  return std::make_shared<const AnalysisContext>(
+      std::move(alignment), std::move(tree), engine, std::move(options));
+}
+
+namespace {
+
+/// Packing/unpacking of the optimization vector:
+///   [ kappa~, omega0~, (omega2~ under H1), u, v, t~_1 .. t~_B ]
+/// with log / logistic / simplex transforms (see opt/transforms.hpp).
+class ParameterPacking {
+ public:
+  ParameterPacking(Hypothesis h, int numBranches)
+      : h1_(h == Hypothesis::H1),
+        numBranches_(numBranches),
+        kappa_(opt::Transform::logAbove(0.0)),
+        omega0_(opt::Transform::logistic(0.0, 1.0)),
+        omega2_(opt::Transform::logAbove(1.0)),
+        // Branch lengths bounded in (0, 50] expected substitutions per
+        // codon, PAML's own bound; keeps line-search trial points sane.
+        branch_(opt::Transform::logistic(0.0, 50.0)) {}
+
+  int dim() const noexcept { return (h1_ ? 5 : 4) + numBranches_; }
+  int branchOffset() const noexcept { return h1_ ? 5 : 4; }
+
+  std::vector<double> pack(const BranchSiteParams& p,
+                           std::span<const double> lengths) const {
+    std::vector<double> x(dim());
+    x[0] = kappa_.toInternal(p.kappa);
+    x[1] = omega0_.toInternal(p.omega0);
+    int at = 2;
+    if (h1_) x[at++] = omega2_.toInternal(p.omega2);
+    const auto [u, v] = opt::simplex2ToInternal(p.p0, p.p1);
+    x[at++] = u;
+    x[at++] = v;
+    for (int k = 0; k < numBranches_; ++k)
+      x[at + k] = branch_.toInternal(std::max(lengths[k], 1e-6));
+    return x;
+  }
+
+  BranchSiteParams unpackParams(std::span<const double> x) const {
+    BranchSiteParams p;
+    p.kappa = kappa_.toExternal(x[0]);
+    p.omega0 = omega0_.toExternal(x[1]);
+    int at = 2;
+    p.omega2 = h1_ ? omega2_.toExternal(x[at++]) : 1.0;
+    const auto [p0, p1] = opt::simplex2ToExternal(x[at], x[at + 1]);
+    p.p0 = p0;
+    p.p1 = p1;
+    return p;
+  }
+
+  double branchLength(std::span<const double> x, int k) const {
+    return branch_.toExternal(x[branchOffset() + k]);
+  }
+
+ private:
+  bool h1_;
+  int numBranches_;
+  opt::Transform kappa_, omega0_, omega2_, branch_;
+};
+
+}  // namespace
+
+FitResult fitHypothesis(const AnalysisContext& context, Hypothesis hypothesis,
+                        const FitOptions& fitOptions,
+                        const lik::LikelihoodOptions& likOptions,
+                        std::shared_ptr<lik::PropagatorCacheShard> shard) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  lik::BranchSiteLikelihood eval(context.alignment(), context.patterns(),
+                                 context.pi(), context.tree(), hypothesis,
+                                 likOptions, std::move(shard));
+  if (!fitOptions.useTreeBranchLengths)
+    eval.setAllBranchLengths(fitOptions.initialBranchLength);
+
+  const int numBranches = eval.numBranches();
+  const ParameterPacking packing(hypothesis, numBranches);
+
+  BranchSiteParams start = fitOptions.initialParams;
+  std::vector<double> startLengths(numBranches);
+  for (int k = 0; k < numBranches; ++k) startLengths[k] = eval.branchLength(k);
+
+  if (fitOptions.startJitterSeed != 0) {
+    // CodeML-style randomized start: multiplicative jitter on every value.
+    // The Rng is task-local, so concurrently-running fits never share
+    // generator state and every scheduling order draws the same jitter.
+    sim::Rng rng(fitOptions.startJitterSeed);
+    auto jitter = [&rng](double v) { return v * std::exp(rng.uniform(-0.1, 0.1)); };
+    start.kappa = jitter(start.kappa);
+    start.omega0 = std::min(0.95, jitter(start.omega0));
+    start.omega2 = 1.0 + jitter(start.omega2 - 1.0 + 0.1);
+    for (auto& t : startLengths) t = jitter(std::max(t, 1e-3));
+  }
+
+  std::vector<double> x0 = packing.pack(start, startLengths);
+
+  const auto objective = [&](std::span<const double> x) -> double {
+    // Extreme line-search trial points can underflow a transform to its
+    // boundary (e.g. kappa == 0) or overflow a kernel; both count as
+    // infeasible and the search backtracks.
+    try {
+      const BranchSiteParams p = packing.unpackParams(x);
+      for (int k = 0; k < numBranches; ++k)
+        eval.setBranchLength(k, packing.branchLength(x, k));
+      const double lnL = eval.logLikelihood(p);
+      return std::isfinite(lnL) ? -lnL : 1e100;
+    } catch (const std::invalid_argument&) {
+      return 1e100;
+    } catch (const std::runtime_error&) {
+      return 1e100;  // eigensolver non-convergence on degenerate input
+    }
+  };
+
+  const auto bfgsResult = opt::minimizeBfgs(objective, x0, fitOptions.bfgs);
+
+  FitResult r;
+  r.hypothesis = hypothesis;
+  r.lnL = -bfgsResult.value;
+  r.params = packing.unpackParams(bfgsResult.x);
+  r.branchLengths.resize(numBranches);
+  for (int k = 0; k < numBranches; ++k)
+    r.branchLengths[k] = packing.branchLength(bfgsResult.x, k);
+  r.iterations = bfgsResult.iterations;
+  r.functionEvaluations = bfgsResult.functionEvaluations;
+  r.converged = bfgsResult.converged;
+  r.counters = eval.counters();
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count();
+  return r;
+}
+
+lik::SiteClassPosteriors siteScanAtFit(
+    const AnalysisContext& context, const FitResult& h1Fit,
+    const lik::LikelihoodOptions& likOptions,
+    std::shared_ptr<lik::PropagatorCacheShard> shard,
+    lik::EvalCounters& scanCounters) {
+  lik::BranchSiteLikelihood eval(context.alignment(), context.patterns(),
+                                 context.pi(), context.tree(),
+                                 h1Fit.hypothesis, likOptions,
+                                 std::move(shard));
+  for (int k = 0; k < eval.numBranches(); ++k)
+    eval.setBranchLength(k, h1Fit.branchLengths[k]);
+  auto posteriors = eval.siteClassPosteriors(h1Fit.params);
+  scanCounters = eval.counters();
+  return posteriors;
+}
+
+PositiveSelectionTest makePositiveSelectionTest(
+    FitResult h0, FitResult h1, lik::SiteClassPosteriors posteriors,
+    const lik::EvalCounters& scanCounters) {
+  PositiveSelectionTest test;
+  test.h0 = std::move(h0);
+  test.h1 = std::move(h1);
+  test.lrt = stat::likelihoodRatioTest(test.h0.lnL, test.h1.lnL, /*df=*/1.0);
+  test.posteriors = std::move(posteriors);
+  test.totalSeconds = test.h0.seconds + test.h1.seconds;
+  test.counters = test.h0.counters + test.h1.counters + scanCounters;
+  return test;
+}
+
+}  // namespace slim::core

@@ -1,0 +1,170 @@
+#pragma once
+// The shared substrate of the batch-first analysis API.
+//
+// Everything reusable across independent likelihood fits of one gene — the
+// codon alignment, its compressed site patterns, the equilibrium
+// frequencies, the (foreground-marked) tree and the persistent propagator
+// cache — lives in an immutable AnalysisContext that the H0 fit, the H1 fit
+// and the NEB site scan all share.  Contexts are handed around as
+// shared_ptr<const ...>, so N tasks referencing one gene never rebuild its
+// tables, and a batch of genes on one tree shares the tree object itself.
+//
+// The fit routine itself (fitHypothesis below) is a free function over a
+// context: core::BranchSiteAnalysis (single gene) and core::BatchAnalysis
+// (many genes, fanned across a TaskScheduler) are both thin drivers of the
+// same code path, which is what keeps their results bit-identical.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "lik/branch_site_likelihood.hpp"
+#include "lik/propagator_cache.hpp"
+#include "model/branch_site.hpp"
+#include "model/frequencies.hpp"
+#include "opt/bfgs.hpp"
+#include "seqio/alignment.hpp"
+#include "stat/lrt.hpp"
+#include "tree/tree.hpp"
+
+namespace slim::core {
+
+struct FitOptions {
+  /// Equilibrium frequency estimator (Selectome/CodeML default: F3x4).
+  model::CodonFrequencyModel frequencyModel = model::CodonFrequencyModel::F3x4;
+  /// Optimizer controls; maxIterations is the paper's "iterations" column.
+  opt::BfgsOptions bfgs{};
+  /// Starting substitution parameters.
+  model::BranchSiteParams initialParams{};
+  /// When false, every branch starts at initialBranchLength instead of the
+  /// lengths carried by the input tree.
+  bool useTreeBranchLengths = true;
+  double initialBranchLength = 0.1;
+  /// Non-zero: multiplicatively jitter the starting parameter values with
+  /// this seed (CodeML's randomized initial values; the paper fixes the seed
+  /// "to generate comparable and reproducible results").
+  std::uint64_t startJitterSeed = 0;
+  /// Likelihood-engine tuning layered on top of the engine preset.
+  LikelihoodTuning tuning{};
+};
+
+struct FitResult {
+  model::Hypothesis hypothesis = model::Hypothesis::H0;
+  double lnL = 0;
+  model::BranchSiteParams params;
+  std::vector<double> branchLengths;  ///< Post-order branch order.
+  int iterations = 0;
+  long functionEvaluations = 0;
+  bool converged = false;
+  double seconds = 0;
+  lik::EvalCounters counters;
+};
+
+/// Output of the full H0-vs-H1 test.
+struct PositiveSelectionTest {
+  FitResult h0;
+  FitResult h1;
+  stat::LrtResult lrt;
+  /// NEB posteriors at the H1 maximum (meaningful when the LRT rejects H0).
+  lik::SiteClassPosteriors posteriors;
+  double totalSeconds = 0;
+  /// Aggregate engine counters over *all* evaluations of the test — both
+  /// fits plus the site scan (whose work per-fit counters never covered).
+  lik::EvalCounters counters;
+};
+
+/// Immutable per-gene analysis state, shareable across fit tasks.  Create
+/// once, then fan any number of fitHypothesis / siteScanAtFit calls over it;
+/// const methods are safe to call concurrently (the propagator-cache
+/// directory is internally mutex-guarded, and each leased shard is exclusive
+/// to one task — see propagator_cache.hpp).
+class AnalysisContext {
+ public:
+  /// The tree must carry exactly one #1 foreground mark; its leaf labels
+  /// must match the alignment sequence names.  Copies both inputs.
+  static std::shared_ptr<const AnalysisContext> create(
+      const seqio::CodonAlignment& alignment, const tree::Tree& tree,
+      EngineKind engine, FitOptions options = {});
+
+  /// Same, sharing an already-parsed tree (a multi-gene batch on one
+  /// species tree stores the tree once, not once per gene).
+  static std::shared_ptr<const AnalysisContext> create(
+      seqio::CodonAlignment alignment, std::shared_ptr<const tree::Tree> tree,
+      EngineKind engine, FitOptions options = {});
+
+  const seqio::CodonAlignment& alignment() const noexcept { return alignment_; }
+  const seqio::SitePatterns& patterns() const noexcept { return patterns_; }
+  const std::vector<double>& pi() const noexcept { return pi_; }
+  const tree::Tree& tree() const noexcept { return *tree_; }
+  const std::shared_ptr<const tree::Tree>& treePtr() const noexcept {
+    return tree_;
+  }
+  EngineKind engine() const noexcept { return engine_; }
+  const FitOptions& options() const noexcept { return options_; }
+
+  /// The engine preset with this context's tuning overrides applied.
+  lik::LikelihoodOptions likelihoodOptions() const noexcept {
+    return resolvedEngineOptions(engine_, options_.tuning);
+  }
+
+  /// Canonical shard slot of a hypothesis' fit task; the site scan at the
+  /// H1 maximum reuses slot(H1), which is exactly where its propagators are
+  /// already warm.
+  static constexpr int shardSlot(model::Hypothesis h) noexcept {
+    return h == model::Hypothesis::H1 ? 1 : 0;
+  }
+
+  /// Lease the persistent propagator shard for one task slot (lazily
+  /// created; mutex-guarded directory).  Null when the resolved engine
+  /// options have propagator caching off — the evaluator then runs uncached
+  /// exactly as before.  A slot must not be used by two tasks concurrently.
+  std::shared_ptr<lik::PropagatorCacheShard> cacheShard(int slot) const {
+    if (!likelihoodOptions().cachePropagators) return nullptr;
+    return cache_->shard(slot);
+  }
+
+  /// Total propagators currently cached across all shards (diagnostics).
+  std::size_t cachedPropagators() const { return cache_->totalEntries(); }
+
+  AnalysisContext(seqio::CodonAlignment alignment,
+                  std::shared_ptr<const tree::Tree> tree, EngineKind engine,
+                  FitOptions options);  // prefer create()
+
+ private:
+  seqio::CodonAlignment alignment_;
+  seqio::SitePatterns patterns_;
+  std::vector<double> pi_;
+  std::shared_ptr<const tree::Tree> tree_;
+  EngineKind engine_;
+  FitOptions options_;
+  std::shared_ptr<lik::SharedPropagatorCache> cache_;
+};
+
+/// Maximize ln L under one hypothesis over the context's shared data.
+/// `likOptions` is the fully resolved engine configuration for this task —
+/// a scheduler running task-level fan-out passes numThreads = 1 so the
+/// nested pattern sweep stays serial.  `fitOptions` must agree with the
+/// context's frequency model (the context's pi is used).  `shard` optionally
+/// carries warm propagator state across fits (null: per-fit private cache).
+FitResult fitHypothesis(const AnalysisContext& context,
+                        model::Hypothesis hypothesis,
+                        const FitOptions& fitOptions,
+                        const lik::LikelihoodOptions& likOptions,
+                        std::shared_ptr<lik::PropagatorCacheShard> shard = {});
+
+/// NEB site scan at an H1 maximum.  `scanCounters` receives the engine
+/// counters of this evaluation (work that per-fit counters do not cover).
+lik::SiteClassPosteriors siteScanAtFit(
+    const AnalysisContext& context, const FitResult& h1Fit,
+    const lik::LikelihoodOptions& likOptions,
+    std::shared_ptr<lik::PropagatorCacheShard> shard,
+    lik::EvalCounters& scanCounters);
+
+/// Assemble the full positive-selection test from its three evaluations:
+/// LRT plumbing, deterministic counter merge (h0 + h1 + scan), wall time.
+PositiveSelectionTest makePositiveSelectionTest(
+    FitResult h0, FitResult h1, lik::SiteClassPosteriors posteriors,
+    const lik::EvalCounters& scanCounters);
+
+}  // namespace slim::core

@@ -31,6 +31,26 @@ constexpr lik::LikelihoodOptions engineOptions(EngineKind e) noexcept {
   return lik::slimOptions();
 }
 
+/// Where the workers go when several *independent* fit tasks are available
+/// (the H0/H1 pair of one gene, or the genes of a batch): fanning whole
+/// tasks across the pool, gcodeml-style, or keeping each task sequential
+/// and parallelizing inside its pattern sweep.  Either way each evaluation's
+/// arithmetic is unchanged, so results are bit-identical across policies.
+enum class ParallelPolicy {
+  Auto,          ///< Task-level when tasks >= workers, pattern-level otherwise.
+  TaskLevel,     ///< One worker per fit task; evaluators run single-threaded.
+  PatternLevel,  ///< Tasks run sequentially; each evaluator uses all workers.
+};
+
+constexpr const char* parallelPolicyName(ParallelPolicy p) noexcept {
+  switch (p) {
+    case ParallelPolicy::Auto: return "auto";
+    case ParallelPolicy::TaskLevel: return "task";
+    case ParallelPolicy::PatternLevel: return "pattern";
+  }
+  return "?";
+}
+
 /// Tuning overrides layered on an engine preset (values < 0 keep the
 /// preset's setting).  Kept out of EngineKind so parallelism and caching
 /// stay orthogonal to the paper's kernel comparison.
@@ -38,6 +58,9 @@ struct LikelihoodTuning {
   int numThreads = -1;        ///< see lik::LikelihoodOptions::numThreads
   int blockSize = -1;         ///< see lik::LikelihoodOptions::blockSize
   int cachePropagators = -1;  ///< tri-state: -1 preset, 0 off, 1 on
+  /// Nested-parallelism policy for schedulers running independent fit tasks
+  /// (core::TaskScheduler / core::BatchAnalysis); single evaluations ignore it.
+  ParallelPolicy policy = ParallelPolicy::Auto;
 };
 
 constexpr lik::LikelihoodOptions resolvedEngineOptions(

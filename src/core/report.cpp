@@ -1,8 +1,12 @@
 #include "core/report.hpp"
 
+#include <cmath>
 #include <iomanip>
+#include <limits>
 #include <ostream>
 #include <sstream>
+
+#include "support/require.hpp"
 
 namespace slim::core {
 
@@ -96,6 +100,179 @@ void writeSiteModelReport(std::ostream& os, const SiteModelTest& test,
     }
   }
   if (!any) os << "    (none)\n";
+}
+
+void writeBatchSummary(std::ostream& os,
+                       const std::vector<PositiveSelectionTest>& tests,
+                       const std::vector<std::string>& geneNames,
+                       EngineKind engine, const lik::EvalCounters& totals,
+                       const BatchRunInfo& info) {
+  SLIM_REQUIRE(tests.size() == geneNames.size(),
+               "writeBatchSummary: tests/geneNames size mismatch");
+  os << "Batch summary (" << engineName(engine) << " engine, " << tests.size()
+     << " genes, " << info.workers << " workers, "
+     << (info.taskLevel ? "task" : "pattern") << "-level parallelism, "
+     << std::setprecision(3) << info.seconds << " s)\n";
+  os << "  gene                 lnL0          lnL1          2*dlnL    p(chi2_1)  verdict\n";
+  for (std::size_t g = 0; g < tests.size(); ++g) {
+    const auto& t = tests[g];
+    os << "  " << std::left << std::setw(18) << geneNames[g] << std::right
+       << std::fixed << std::setw(14) << std::setprecision(4) << t.h0.lnL
+       << std::setw(14) << t.h1.lnL << std::setw(10) << t.lrt.statistic
+       << std::defaultfloat << std::setw(11) << std::setprecision(4)
+       << t.lrt.pChi2 << "  "
+       << (t.lrt.significantAt(0.05) ? "DETECTED" : "-") << '\n';
+  }
+  os << "  engine totals: " << totals.evaluations << " evaluations, "
+     << totals.eigenDecompositions << " eigendecompositions, "
+     << totals.propagatorBuilds << " propagator builds";
+  if (totals.propagatorCacheHits + totals.propagatorCacheMisses > 0)
+    os << ", cache " << totals.propagatorCacheHits << " hits / "
+       << totals.propagatorCacheMisses << " misses";
+  os << '\n';
+}
+
+// --- JSON ---
+
+namespace {
+
+/// Full-precision JSON number; non-finite doubles (legal in IEEE, illegal
+/// in JSON) become null.
+void jsonNumber(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  // defaultfloat guards against float-format state (std::fixed) left on a
+  // shared stream by a preceding text report.
+  os << std::defaultfloat
+     << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+}
+
+void jsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        else
+          os << c;
+    }
+  }
+  os << '"';
+}
+
+void jsonCounters(std::ostream& os, const lik::EvalCounters& c) {
+  os << "{\"evaluations\":" << c.evaluations
+     << ",\"eigenDecompositions\":" << c.eigenDecompositions
+     << ",\"propagatorBuilds\":" << c.propagatorBuilds
+     << ",\"patternPropagations\":" << c.patternPropagations
+     << ",\"cacheHits\":" << c.propagatorCacheHits
+     << ",\"cacheMisses\":" << c.propagatorCacheMisses << '}';
+}
+
+void jsonFit(std::ostream& os, const FitResult& fit) {
+  os << "{\"lnL\":";
+  jsonNumber(os, fit.lnL);
+  os << ",\"kappa\":";
+  jsonNumber(os, fit.params.kappa);
+  os << ",\"omega0\":";
+  jsonNumber(os, fit.params.omega0);
+  os << ",\"omega2\":";
+  jsonNumber(os, fit.params.omega2);
+  os << ",\"p0\":";
+  jsonNumber(os, fit.params.p0);
+  os << ",\"p1\":";
+  jsonNumber(os, fit.params.p1);
+  os << ",\"iterations\":" << fit.iterations
+     << ",\"functionEvaluations\":" << fit.functionEvaluations
+     << ",\"converged\":" << (fit.converged ? "true" : "false")
+     << ",\"seconds\":";
+  jsonNumber(os, fit.seconds);
+  os << ",\"counters\":";
+  jsonCounters(os, fit.counters);
+  os << '}';
+}
+
+void jsonTest(std::ostream& os, const PositiveSelectionTest& test,
+              std::string_view geneName, double siteThreshold) {
+  os << '{';
+  if (!geneName.empty()) {
+    os << "\"gene\":";
+    jsonString(os, geneName);
+    os << ',';
+  }
+  os << "\"h0\":";
+  jsonFit(os, test.h0);
+  os << ",\"h1\":";
+  jsonFit(os, test.h1);
+  os << ",\"lrt\":{\"statistic\":";
+  jsonNumber(os, test.lrt.statistic);
+  os << ",\"df\":";
+  jsonNumber(os, test.lrt.df);
+  os << ",\"pChi2\":";
+  jsonNumber(os, test.lrt.pChi2);
+  os << ",\"pMixture\":";
+  jsonNumber(os, test.lrt.pMixture);
+  os << ",\"significantAt05\":"
+     << (test.lrt.significantAt(0.05) ? "true" : "false") << '}';
+  os << ",\"positiveSites\":[";
+  bool first = true;
+  const auto& bySite = test.posteriors.positiveSelectionBySite;
+  for (std::size_t i = 0; i < bySite.size(); ++i) {
+    if (bySite[i] > siteThreshold) {
+      if (!first) os << ',';
+      first = false;
+      os << "{\"site\":" << (i + 1) << ",\"posterior\":";
+      jsonNumber(os, bySite[i]);
+      os << '}';
+    }
+  }
+  os << "],\"totalSeconds\":";
+  jsonNumber(os, test.totalSeconds);
+  os << ",\"counters\":";
+  jsonCounters(os, test.counters);
+  os << '}';
+}
+
+}  // namespace
+
+void writeJsonTestReport(std::ostream& os, const PositiveSelectionTest& test,
+                         EngineKind engine, std::string_view geneName,
+                         double siteThreshold) {
+  os << "{\"engine\":";
+  jsonString(os, engineName(engine));
+  os << ",\"test\":";
+  jsonTest(os, test, geneName, siteThreshold);
+  os << "}\n";
+}
+
+void writeJsonBatchReport(std::ostream& os,
+                          const std::vector<PositiveSelectionTest>& tests,
+                          const std::vector<std::string>& geneNames,
+                          EngineKind engine, const lik::EvalCounters& totals,
+                          const BatchRunInfo& info, double siteThreshold) {
+  SLIM_REQUIRE(tests.size() == geneNames.size(),
+               "writeJsonBatchReport: tests/geneNames size mismatch");
+  os << "{\"engine\":";
+  jsonString(os, engineName(engine));
+  os << ",\"genes\":[";
+  for (std::size_t g = 0; g < tests.size(); ++g) {
+    if (g) os << ',';
+    jsonTest(os, tests[g], geneNames[g], siteThreshold);
+  }
+  os << "],\"totals\":";
+  jsonCounters(os, totals);
+  os << ",\"batch\":{\"taskLevel\":" << (info.taskLevel ? "true" : "false")
+     << ",\"workers\":" << info.workers << ",\"seconds\":";
+  jsonNumber(os, info.seconds);
+  os << "}}\n";
 }
 
 }  // namespace slim::core

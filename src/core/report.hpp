@@ -5,8 +5,11 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/analysis.hpp"
+#include "core/batch.hpp"
 #include "core/site_models.hpp"
 
 namespace slim::core {
@@ -26,5 +29,30 @@ std::string testReportString(const PositiveSelectionTest& test,
 /// Write the M1a-vs-M2a site-model test report (df = 2 LRT, NEB sites).
 void writeSiteModelReport(std::ostream& os, const SiteModelTest& test,
                           EngineKind engine, double siteThreshold = 0.95);
+
+/// Per-gene verdict table plus the aggregate engine counters of a batch run
+/// (tests and geneNames are parallel, in GeneHandle order).
+void writeBatchSummary(std::ostream& os,
+                       const std::vector<PositiveSelectionTest>& tests,
+                       const std::vector<std::string>& geneNames,
+                       EngineKind engine, const lik::EvalCounters& totals,
+                       const BatchRunInfo& info);
+
+// --- structured (JSON) reports, emitted next to the text report ---
+
+/// One branch-site test as a JSON object (machine-readable counterpart of
+/// writeTestReport; full double precision).
+void writeJsonTestReport(std::ostream& os, const PositiveSelectionTest& test,
+                         EngineKind engine, std::string_view geneName = {},
+                         double siteThreshold = 0.95);
+
+/// A whole batch: per-gene test objects plus aggregate counters and the
+/// scheduler's run info.
+void writeJsonBatchReport(std::ostream& os,
+                          const std::vector<PositiveSelectionTest>& tests,
+                          const std::vector<std::string>& geneNames,
+                          EngineKind engine, const lik::EvalCounters& totals,
+                          const BatchRunInfo& info,
+                          double siteThreshold = 0.95);
 
 }  // namespace slim::core

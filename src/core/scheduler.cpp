@@ -1,0 +1,19 @@
+#include "core/scheduler.hpp"
+
+namespace slim::core {
+
+TaskScheduler::TaskScheduler(int numWorkers)
+    : workers_(support::resolveThreadCount(numWorkers)) {}
+
+void TaskScheduler::run(int numTasks, ParallelPolicy policy,
+                        const std::function<void(int)>& task) {
+  if (numTasks <= 0) return;
+  if (!useTaskLevel(numTasks, policy)) {
+    for (int i = 0; i < numTasks; ++i) task(i);
+    return;
+  }
+  if (!pool_) pool_ = std::make_unique<support::ThreadPool>(workers_);
+  pool_->parallelFor(numTasks, [&task](int i, int /*worker*/) { task(i); });
+}
+
+}  // namespace slim::core

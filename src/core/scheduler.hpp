@@ -1,0 +1,61 @@
+#pragma once
+// Fan-out of independent fit tasks — the parallelism *above* the pattern
+// level that gcodeml demonstrates (PAPERS.md): the H0 and H1 fits of one
+// gene, or the genes of a whole batch, are embarrassingly parallel, and on
+// a many-core host distributing whole tasks beats splitting one pattern
+// sweep once there are at least as many tasks as workers.
+//
+// The scheduler reuses support::ThreadPool.  Nested parallelism is resolved
+// by ParallelPolicy (core/engine.hpp): under task-level fan-out each task's
+// evaluator must run single-threaded (taskThreads() == 1), under
+// pattern-level the tasks run sequentially and each evaluator gets the full
+// pool.  Results must land in slots addressed by task index, which — with
+// per-task cache shards and task-local RNGs — makes every scheduling order
+// produce bit-identical output.
+
+#include <functional>
+#include <memory>
+
+#include "core/engine.hpp"
+#include "support/parallel.hpp"
+
+namespace slim::core {
+
+class TaskScheduler {
+ public:
+  /// numWorkers: 0 picks the hardware concurrency, otherwise clamped to 1+.
+  explicit TaskScheduler(int numWorkers = 0);
+
+  int numWorkers() const noexcept { return workers_; }
+
+  /// Whether `numTasks` independent tasks would be fanned across workers
+  /// under `policy` (Auto: only when the task count can keep every worker
+  /// busy; fewer tasks leave the cores to the pattern sweep instead).
+  bool useTaskLevel(int numTasks, ParallelPolicy policy) const noexcept {
+    if (workers_ <= 1 || numTasks <= 1) return false;
+    switch (policy) {
+      case ParallelPolicy::TaskLevel: return true;
+      case ParallelPolicy::PatternLevel: return false;
+      case ParallelPolicy::Auto: return numTasks >= workers_;
+    }
+    return false;
+  }
+
+  /// Evaluator thread budget for one task under `policy`: 1 when tasks are
+  /// fanned out, the whole pool when they run sequentially.
+  int taskThreads(int numTasks, ParallelPolicy policy) const noexcept {
+    return useTaskLevel(numTasks, policy) ? 1 : workers_;
+  }
+
+  /// Run task(i) for every i in [0, numTasks): across the pool when
+  /// useTaskLevel(numTasks, policy), else sequentially in index order.
+  /// Blocks until all tasks complete; rethrows the first task exception.
+  void run(int numTasks, ParallelPolicy policy,
+           const std::function<void(int)>& task);
+
+ private:
+  int workers_;
+  std::unique_ptr<support::ThreadPool> pool_;  // created on first fan-out
+};
+
+}  // namespace slim::core

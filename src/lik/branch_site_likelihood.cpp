@@ -22,13 +22,18 @@ using model::MixtureSpec;
 BranchSiteLikelihood::BranchSiteLikelihood(
     const seqio::CodonAlignment& alignment, const seqio::SitePatterns& patterns,
     std::vector<double> pi, const tree::Tree& tree,
-    model::Hypothesis hypothesis, LikelihoodOptions options)
+    model::Hypothesis hypothesis, LikelihoodOptions options,
+    std::shared_ptr<PropagatorCacheShard> shard)
     : gc_(*alignment.code),
       patterns_(patterns),
       pi_(std::move(pi)),
       tree_(tree),
       hypothesis_(hypothesis),
-      options_(options) {
+      options_(options),
+      shard_(options.cachePropagators
+                 ? (shard ? std::move(shard)
+                          : std::make_shared<PropagatorCacheShard>())
+                 : nullptr) {
   n_ = gc_.numSense();
   npat_ = static_cast<int>(patterns_.numPatterns());
   SLIM_REQUIRE(npat_ > 0, "no site patterns");
@@ -126,23 +131,23 @@ const Matrix& BranchSiteLikelihood::propagator(int node, int omegaIdx) {
   const auto& es = eigenSystems_[eigenIdx];
   double t = tree_.branchLength(node);
 
-  if (options_.cachePropagators) {
+  if (shard_) {
     if (options_.cacheQuantum > 0.0)
       t = std::round(t / options_.cacheQuantum) * options_.cacheQuantum;
-    const PropKey ck{eigenIdx, std::bit_cast<std::uint64_t>(t)};
-    auto it = persistentProps_.find(ck);
-    if (it == persistentProps_.end()) {
+    const PropagatorCacheShard::Key ck{eigenIdx, std::bit_cast<std::uint64_t>(t)};
+    auto it = shard_->entries.find(ck);
+    if (it == shard_->entries.end()) {
       // A full cache is flushed at the start of the *next* evaluation:
       // entries inserted this evaluation may already be referenced through
       // propPtr_, so they must stay addressable until the sweep finishes.
-      if (persistentProps_.size() >=
+      if (shard_->entries.size() >=
           static_cast<std::size_t>(options_.cacheCapacity))
-        flushCacheNextEval_ = true;
+        shard_->flushNextEval = true;
       Matrix p;
       buildPropagator(es, t, p);
       ++counters_.propagatorBuilds;
       ++counters_.propagatorCacheMisses;
-      it = persistentProps_.emplace(ck, std::move(p)).first;
+      it = shard_->entries.emplace(ck, std::move(p)).first;
     } else {
       ++counters_.propagatorCacheHits;
     }
@@ -284,20 +289,24 @@ void BranchSiteLikelihood::pruneClassBlock(int m, int h0, int len,
 }
 
 void BranchSiteLikelihood::prepareEigenSystems(const MixtureSpec& spec) {
-  if (options_.cachePropagators) {
-    if (flushCacheNextEval_) {
-      persistentProps_.clear();
-      flushCacheNextEval_ = false;
+  if (shard_) {
+    if (shard_->flushNextEval) {
+      shard_->entries.clear();
+      shard_->flushNextEval = false;
     }
-    // Identical substitution parameters since the last evaluation mean the
+    // Identical substitution parameters since the shard was filled mean the
     // eigensystems — and every cached propagator derived from them — are
     // still valid.  This is what makes optimizer line searches and
     // finite-difference gradients (which move few coordinates per call)
     // skip nearly all eigen-reconstruction work.
-    if (!eigenSystems_.empty() && spec.omegas == cachedSpecOmegas_ &&
-        spec.scaledS == cachedSpecScaledS_)
-      return;
-    persistentProps_.clear();
+    const bool specMatches = spec.omegas == shard_->specOmegas &&
+                             spec.scaledS == shard_->specScaledS;
+    if (specMatches && !eigenSystems_.empty()) return;
+    // A *warm* shard handed to a fresh evaluator (specMatches, but no local
+    // eigensystems yet) keeps its entries: the decomposition below is
+    // deterministic, so the eigen indices the stored keys refer to come out
+    // identical.
+    if (!specMatches) shard_->entries.clear();
   }
 
   // Eigendecompose once per *distinct* omega value (e.g. under the model A
@@ -321,9 +330,9 @@ void BranchSiteLikelihood::prepareEigenSystems(const MixtureSpec& spec) {
     omegaToEigen_[k] = found;
   }
 
-  if (options_.cachePropagators) {
-    cachedSpecOmegas_ = spec.omegas;
-    cachedSpecScaledS_ = spec.scaledS;
+  if (shard_) {
+    shard_->specOmegas = spec.omegas;
+    shard_->specScaledS = spec.scaledS;
   }
 }
 

@@ -22,12 +22,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "bio/genetic_code.hpp"
 #include "expm/codon_eigen_system.hpp"
 #include "lik/options.hpp"
+#include "lik/propagator_cache.hpp"
 #include "linalg/matrix.hpp"
 #include "model/branch_site.hpp"
 #include "model/site_mixture.hpp"
@@ -49,6 +49,25 @@ struct EvalCounters {
   std::int64_t propagatorCacheMisses = 0;
 };
 
+/// Merge counters from another fit/evaluator.  Callers that fan independent
+/// evaluations across tasks accumulate per-task counters with this in a
+/// fixed (task-index) order, so aggregate counts are deterministic and
+/// nothing is clobbered by concurrent fits.
+inline EvalCounters& operator+=(EvalCounters& a, const EvalCounters& b) noexcept {
+  a.evaluations += b.evaluations;
+  a.eigenDecompositions += b.eigenDecompositions;
+  a.propagatorBuilds += b.propagatorBuilds;
+  a.patternPropagations += b.patternPropagations;
+  a.propagatorCacheHits += b.propagatorCacheHits;
+  a.propagatorCacheMisses += b.propagatorCacheMisses;
+  return a;
+}
+
+inline EvalCounters operator+(EvalCounters a, const EvalCounters& b) noexcept {
+  a += b;
+  return a;
+}
+
 /// Per-site (pattern) posterior probabilities of the site classes given the
 /// data — the "(Naive) Empirical Bayes" output used to identify sites under
 /// positive selection once the LRT is significant (paper Sec. I-A).
@@ -68,10 +87,18 @@ class BranchSiteLikelihood {
   /// state (use setBranchLength / branchNodes to address them).  The tree
   /// must carry exactly one foreground mark (#1) on a non-root branch —
   /// for branch-homogeneous mixtures (M1a/M2a) the mark is inert.
+  ///
+  /// With options.cachePropagators on, `shard` (when non-null) supplies the
+  /// persistent propagator store, letting warm state survive this evaluator
+  /// — e.g. the site scan after an H1 fit, or a refit at the same
+  /// parameters.  The shard must not be used by another evaluator
+  /// concurrently (see propagator_cache.hpp).  Null: a private shard is
+  /// created (the PR-1 behaviour).
   BranchSiteLikelihood(const seqio::CodonAlignment& alignment,
                        const seqio::SitePatterns& patterns,
                        std::vector<double> pi, const tree::Tree& tree,
-                       model::Hypothesis hypothesis, LikelihoodOptions options);
+                       model::Hypothesis hypothesis, LikelihoodOptions options,
+                       std::shared_ptr<PropagatorCacheShard> shard = nullptr);
 
   /// ln L of branch-site model A at the given substitution parameters and
   /// the current branch lengths.  Returns -infinity if a site likelihood
@@ -111,7 +138,11 @@ class BranchSiteLikelihood {
   }
   /// Entries currently held by the persistent propagator cache.
   std::size_t cachedPropagators() const noexcept {
-    return persistentProps_.size();
+    return shard_ ? shard_->entries.size() : 0;
+  }
+  /// The persistent store in use (null unless cachePropagators is on).
+  const std::shared_ptr<PropagatorCacheShard>& cacheShard() const noexcept {
+    return shard_;
   }
 
  private:
@@ -128,22 +159,6 @@ class BranchSiteLikelihood {
     linalg::Matrix applyU;                // FactoredApply scratch
     linalg::Vector vecTmp;                // symv scratch (n)
     std::int64_t patternPropagations = 0;
-  };
-
-  // Persistent propagator-cache key: eigensystem identity (index into
-  // eigenSystems_, stable while the substitution parameters are unchanged)
-  // plus the branch length's bit pattern (possibly snapped to cacheQuantum).
-  struct PropKey {
-    int eigen = 0;
-    std::uint64_t tBits = 0;
-    bool operator==(const PropKey&) const = default;
-  };
-  struct PropKeyHash {
-    std::size_t operator()(const PropKey& k) const noexcept {
-      std::uint64_t h = k.tBits * 0x9E3779B97F4A7C15ull;
-      h ^= static_cast<std::uint64_t>(k.eigen) + (h << 6) + (h >> 2);
-      return static_cast<std::size_t>(h);
-    }
   };
 
   // Class-conditional pattern likelihoods: fills classLik_[m][h] (scaled)
@@ -210,11 +225,9 @@ class BranchSiteLikelihood {
   expm::ExpmWorkspace expmWs_;
   linalg::Matrix transposeScratch_;  // BundledGemm builds P here, stores P^T
 
-  // Persistent propagator cache (cachePropagators mode).
-  std::unordered_map<PropKey, linalg::Matrix, PropKeyHash> persistentProps_;
-  bool flushCacheNextEval_ = false;
-  std::vector<double> cachedSpecOmegas_;
-  std::vector<linalg::Matrix> cachedSpecScaledS_;
+  // Persistent propagator store (cachePropagators mode; else null).  May be
+  // shared across sequential evaluators via the constructor's shard param.
+  std::shared_ptr<PropagatorCacheShard> shard_;
 
   // Class-conditional results.
   std::vector<std::vector<double>> classLik_;

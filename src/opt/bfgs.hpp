@@ -11,6 +11,14 @@
 //
 // Gradients are forward finite differences (optionally central), matching
 // CodeML's derivative-free usage.
+//
+// Reentrancy: the driver keeps all state (iterate, inverse Hessian, line
+// search, gradient scratch) in locals — no globals, no statics — so
+// concurrent minimizeBfgs calls are safe whenever each call's objective
+// touches disjoint state.  core::TaskScheduler relies on this to fan
+// independent fits (H0/H1 pairs, multi-gene batches) across threads, each
+// with its own evaluator.  Verified by opt_test's ConcurrentDriversMatchSerial
+// and CI's TSan job.
 
 #include <functional>
 #include <span>

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "opt/bfgs.hpp"
 #include "opt/nelder_mead.hpp"
@@ -141,6 +143,43 @@ TEST(Bfgs, SolvesRosenbrock) {
   const auto r = minimizeBfgs(f, std::vector<double>{-1.2, 1.0}, opts);
   EXPECT_NEAR(r.x[0], 1.0, 1e-3);
   EXPECT_NEAR(r.x[1], 1.0, 1e-3);
+}
+
+TEST(Bfgs, ConcurrentDriversMatchSerial) {
+  // The reentrancy contract core::TaskScheduler leans on: independent
+  // drivers running in parallel (each with its own objective state) land on
+  // exactly the serial trajectory.
+  const auto makeObjective = [](double target) {
+    return Objective([target](std::span<const double> x) {
+      const double a = target - x[0];
+      const double b = x[1] - x[0] * x[0];
+      return a * a + 100.0 * b * b;
+    });
+  };
+  BfgsOptions opts;
+  opts.maxIterations = 200;
+
+  constexpr int kDrivers = 8;
+  std::vector<BfgsResult> serial(kDrivers), parallel(kDrivers);
+  for (int d = 0; d < kDrivers; ++d)
+    serial[d] =
+        minimizeBfgs(makeObjective(1.0 + d), std::vector<double>{-1.2, 1.0}, opts);
+
+  std::vector<std::thread> threads;
+  for (int d = 0; d < kDrivers; ++d)
+    threads.emplace_back([&, d] {
+      parallel[d] = minimizeBfgs(makeObjective(1.0 + d),
+                                 std::vector<double>{-1.2, 1.0}, opts);
+    });
+  for (auto& t : threads) t.join();
+
+  for (int d = 0; d < kDrivers; ++d) {
+    EXPECT_EQ(parallel[d].value, serial[d].value) << d;
+    EXPECT_EQ(parallel[d].x, serial[d].x) << d;
+    EXPECT_EQ(parallel[d].iterations, serial[d].iterations) << d;
+    EXPECT_EQ(parallel[d].functionEvaluations, serial[d].functionEvaluations)
+        << d;
+  }
 }
 
 TEST(Bfgs, HandlesInfeasibleRegions) {

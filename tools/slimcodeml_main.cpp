@@ -1,31 +1,46 @@
 // The slimcodeml command-line tool: the CodeML-style workflow driven by a
 // control file.
 //
-//   slimcodeml analysis.ctl
+//   slimcodeml [--json] [--batch <dir>] analysis.ctl
 //
 // See src/core/config.hpp for the control-file reference, or run with
 // --help for a template.
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/config.hpp"
+#include "core/report.hpp"
 
 namespace {
 
-constexpr const char* kUsage = R"(usage: slimcodeml <control-file>
+constexpr const char* kUsage = R"(usage: slimcodeml [--json] [--batch <dir>] <control-file>
 
 Fits branch-site model A under H0 and H1, runs the likelihood-ratio test
 for positive selection on the #1-marked foreground branch, and writes a
-report.
+report.  Repeating the seqfile line (or --batch) selects the multi-gene
+workflow: every gene's H0/H1 fits are fanned as independent tasks across
+the worker pool, sharing the tree and the propagator cache machinery.
+
+  --json         also emit a structured JSON report: to '<outfile>.json'
+                 when outfile names a file, else to stdout after the text
+  --batch <dir>  append every *.fasta/*.fa/*.phy alignment in <dir> (sorted)
+                 to the control file's seqfile list
 
 Control file template:
 
-    seqfile  = gene.fasta      * FASTA or sequential PHYLIP
-    treefile = gene.nwk        * Newick, one branch marked #1
+    seqfile  = gene.fasta      * FASTA or sequential PHYLIP; repeat per gene
+    treefile = gene.nwk        * Newick, one branch marked #1 (shared)
     outfile  = results.txt     * '-' or omitted: stdout
     engine   = slim            * slim | slim-parallel | codeml (baseline)
     model    = branch-site     * branch-site (H0 vs H1) | site (M1a vs M2a)
-    threads  = 0               * likelihood threads (0: all cores)
+    threads  = 0               * worker threads (0: all cores)
+    parallel = auto            * auto | task | pattern (batch fan-out)
     blockSize = 64             * site patterns per work block
     cachePropagators = 1       * persistent (omega, branch-length) cache
     CodonFreq = 2              * 0 equal, 1 F1x4, 2 F3x4, 3 F61
@@ -39,23 +54,110 @@ Control file template:
     seed = 0                   * nonzero: jitter the starting values
 )";
 
+/// Alignments in `dir` with a sequence-file extension, sorted by name so
+/// gene order (and hence GeneHandles and derived seeds) is deterministic.
+std::vector<std::string> scanBatchDir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir))
+    throw std::invalid_argument("--batch: '" + dir + "' is not a directory");
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext == ".fasta" || ext == ".fa" || ext == ".fas" || ext == ".phy" ||
+        ext == ".phylip")
+      files.push_back(entry.path().string());
+  }
+  if (files.empty())
+    throw std::invalid_argument("--batch: no alignments (*.fasta, *.fa, "
+                                "*.fas, *.phy, *.phylip) in '" + dir + "'");
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// The JSON report lands next to the text report: '<outfile>.json' when the
+/// text goes to a file, stdout otherwise.
+void emitJson(const slim::core::Config& config,
+              const std::function<void(std::ostream&)>& write) {
+  if (config.outfile.empty() || config.outfile == "-") {
+    write(std::cout);
+    return;
+  }
+  const std::string path = config.outfile + ".json";
+  std::ofstream out(path);
+  if (!out.good())
+    throw std::invalid_argument("cannot open JSON output file '" + path + "'");
+  write(out);
+  std::cerr << "wrote " << path << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2 || std::string_view(argv[1]) == "--help" ||
-      std::string_view(argv[1]) == "-h") {
-    std::cerr << kUsage;
-    return argc == 2 ? 0 : 1;
+  bool json = false;
+  std::string batchDir;
+  std::string ctlPath;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cerr << kUsage;
+      return 0;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--batch") {
+      if (i + 1 >= argc) {
+        std::cerr << "slimcodeml: error: --batch needs a directory\n";
+        return 1;
+      }
+      batchDir = argv[++i];
+    } else if (ctlPath.empty()) {
+      ctlPath = arg;
+    } else {
+      std::cerr << kUsage;
+      return 1;
+    }
   }
+  if (ctlPath.empty()) {
+    std::cerr << kUsage;
+    return 1;
+  }
+
   try {
-    const auto config = slim::core::Config::parseFile(argv[1]);
+    auto config = slim::core::Config::parseFile(ctlPath);
+    if (!batchDir.empty()) {
+      for (auto& path : scanBatchDir(batchDir))
+        config.seqfiles.push_back(std::move(path));
+      config.seqfile = config.seqfiles.front();
+    }
+
     if (config.analysis == slim::core::AnalysisKind::Site) {
+      if (config.seqfiles.size() > 1 || json) {
+        std::cerr << "slimcodeml: error: batch mode and --json support "
+                     "'model = branch-site' only\n";
+        return 1;
+      }
       const auto test = slim::core::runSiteModelFromConfig(config);
       std::cerr << "done: M1a lnL = " << test.m1a.lnL
                 << ", M2a lnL = " << test.m2a.lnL
                 << ", p = " << test.lrt.pChi2 << '\n';
+    } else if (config.seqfiles.size() > 1) {
+      const auto out = slim::core::runBatchFromConfig(config);
+      if (json)
+        emitJson(config, [&](std::ostream& os) {
+          writeJsonBatchReport(os, out.tests, out.geneNames, config.engine,
+                               out.totals, out.info);
+        });
+      int detected = 0;
+      for (const auto& t : out.tests) detected += t.lrt.significantAt(0.05);
+      std::cerr << "done: " << out.tests.size() << " genes, " << detected
+                << " with positive selection detected, " << out.info.seconds
+                << " s (" << out.info.workers << " workers)\n";
     } else {
       const auto test = slim::core::runFromConfig(config);
+      if (json)
+        emitJson(config, [&](std::ostream& os) {
+          writeJsonTestReport(os, test, config.engine);
+        });
       std::cerr << "done: lnL0 = " << test.h0.lnL
                 << ", lnL1 = " << test.h1.lnL << ", p = " << test.lrt.pChi2
                 << '\n';
