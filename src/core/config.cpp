@@ -97,6 +97,15 @@ Config Config::parse(std::istream& in) {
         cfg.fit.tuning.policy = ParallelPolicy::PatternLevel;
       else
         badLine(lineNo, "parallel must be 'auto', 'task' or 'pattern'");
+    } else if (key == "gradient") {
+      if (value == "fd")
+        cfg.fit.tuning.gradient = GradientMode::FiniteDiff;
+      else if (value == "fd-parallel")
+        cfg.fit.tuning.gradient = GradientMode::ParallelFiniteDiff;
+      else if (value == "analytic")
+        cfg.fit.tuning.gradient = GradientMode::Analytic;
+      else
+        badLine(lineNo, "gradient must be 'fd', 'fd-parallel' or 'analytic'");
     } else if (key == "model") {
       if (value == "branch-site")
         cfg.analysis = AnalysisKind::BranchSite;

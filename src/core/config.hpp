@@ -12,6 +12,7 @@
 //     engine   = slim              * slim | slim-parallel | codeml
 //     threads  = 0                 * worker threads (0: all cores)
 //     parallel = auto              * auto | task | pattern (batch fan-out)
+//     gradient = fd                * fd | fd-parallel | analytic
 //     blockSize = 64               * site patterns per work block
 //     cachePropagators = 1         * persistent propagator cache on/off
 //     CodonFreq = 2                * 0 equal, 1 F1x4, 2 F3x4, 3 F61

@@ -3,8 +3,10 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/objective.hpp"
 #include "opt/transforms.hpp"
 #include "sim/rng.hpp"
+#include "support/parallel.hpp"
 #include "support/require.hpp"
 
 namespace slim::core {
@@ -91,6 +93,8 @@ class ParameterPacking {
     return branch_.toExternal(x[branchOffset() + k]);
   }
 
+  const opt::Transform& branchTransform() const noexcept { return branch_; }
+
  private:
   bool h1_;
   int numBranches_;
@@ -132,22 +136,32 @@ FitResult fitHypothesis(const AnalysisContext& context, Hypothesis hypothesis,
 
   std::vector<double> x0 = packing.pack(start, startLengths);
 
-  const auto objective = [&](std::span<const double> x) -> double {
-    // Extreme line-search trial points can underflow a transform to its
-    // boundary (e.g. kappa == 0) or overflow a kernel; both count as
-    // infeasible and the search backtracks.
-    try {
-      const BranchSiteParams p = packing.unpackParams(x);
-      for (int k = 0; k < numBranches; ++k)
-        eval.setBranchLength(k, packing.branchLength(x, k));
-      const double lnL = eval.logLikelihood(p);
-      return std::isfinite(lnL) ? -lnL : 1e100;
-    } catch (const std::invalid_argument&) {
-      return 1e100;
-    } catch (const std::runtime_error&) {
-      return 1e100;  // eigensolver non-convergence on degenerate input
-    }
-  };
+  // The derivative-aware objective: value() on the fit's evaluator; FD probe
+  // points fanned across single-threaded pool evaluators when the gradient
+  // mode and policy allow; analytic branch derivatives under
+  // GradientMode::Analytic.  The likelihood's thread budget doubles as the
+  // coordinate fan-out width (a task-level scheduler above this fit passes
+  // numThreads = 1, which also keeps the probe pool sequential — no nested
+  // oversubscription).
+  const GradientMode mode = fitOptions.tuning.gradient;
+  const int fanWorkers = mode == GradientMode::FiniteDiff
+                             ? 1
+                             : support::resolveThreadCount(likOptions.numThreads);
+  const bio::GeneticCode& gc = *context.alignment().code;
+  LikelihoodObjective objective(
+      eval, context.alignment(), context.patterns(), context.pi(),
+      context.tree(), hypothesis, likOptions, mode, fitOptions.tuning.policy,
+      fanWorkers,
+      {packing.branchOffset(), numBranches, packing.branchTransform()},
+      [&packing, &gc, &context, hypothesis, numBranches](
+          lik::BranchSiteLikelihood& e,
+          std::span<const double> x) -> model::MixtureSpec {
+        const BranchSiteParams p = packing.unpackParams(x);
+        p.validate(hypothesis);
+        for (int k = 0; k < numBranches; ++k)
+          e.setBranchLength(k, packing.branchLength(x, k));
+        return model::buildModelASpec(gc, context.pi(), p, hypothesis);
+      });
 
   const auto bfgsResult = opt::minimizeBfgs(objective, x0, fitOptions.bfgs);
 
@@ -160,8 +174,10 @@ FitResult fitHypothesis(const AnalysisContext& context, Hypothesis hypothesis,
     r.branchLengths[k] = packing.branchLength(bfgsResult.x, k);
   r.iterations = bfgsResult.iterations;
   r.functionEvaluations = bfgsResult.functionEvaluations;
+  r.gradientEvaluations = bfgsResult.gradientEvaluations;
+  r.gradientMode = mode;
   r.converged = bfgsResult.converged;
-  r.counters = eval.counters();
+  r.counters = objective.counters();
   r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                   .count();
   return r;

@@ -55,7 +55,13 @@ struct FitResult {
   model::BranchSiteParams params;
   std::vector<double> branchLengths;  ///< Post-order branch order.
   int iterations = 0;
+  /// Objective evaluations spent on values (start point + line searches).
   long functionEvaluations = 0;
+  /// Objective evaluations spent inside gradients (FD probes); under
+  /// GradientMode::Analytic the branch block costs none of these.
+  long gradientEvaluations = 0;
+  /// How the fit's gradients were computed.
+  GradientMode gradientMode = GradientMode::FiniteDiff;
   bool converged = false;
   double seconds = 0;
   lik::EvalCounters counters;

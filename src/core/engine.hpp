@@ -51,6 +51,33 @@ constexpr const char* parallelPolicyName(ParallelPolicy p) noexcept {
   return "?";
 }
 
+/// How the optimizer obtains gradients of the likelihood objective
+/// (`gradient =` in the control file).
+enum class GradientMode {
+  /// Forward/central finite differences, one evaluation per coordinate,
+  /// probed serially on the fit's own evaluator (the default).
+  FiniteDiff,
+  /// The same finite differences, with the probe points fanned across a
+  /// pool of single-threaded evaluators on core::TaskScheduler.  Values are
+  /// bit-identical to FiniteDiff for every worker count.
+  ParallelFiniteDiff,
+  /// Hybrid analytic gradient: branch-length derivatives from one extra
+  /// pruning-style sweep (dP/dt via the eigendecomposition), finite
+  /// differences only for the few substitution/mixture parameters.
+  /// Eliminates the dominant per-branch FD axis (>= 3x fewer evaluations
+  /// per fit on realistic trees).
+  Analytic,
+};
+
+constexpr const char* gradientModeName(GradientMode g) noexcept {
+  switch (g) {
+    case GradientMode::FiniteDiff: return "fd";
+    case GradientMode::ParallelFiniteDiff: return "fd-parallel";
+    case GradientMode::Analytic: return "analytic";
+  }
+  return "?";
+}
+
 /// Tuning overrides layered on an engine preset (values < 0 keep the
 /// preset's setting).  Kept out of EngineKind so parallelism and caching
 /// stay orthogonal to the paper's kernel comparison.
@@ -59,8 +86,11 @@ struct LikelihoodTuning {
   int blockSize = -1;         ///< see lik::LikelihoodOptions::blockSize
   int cachePropagators = -1;  ///< tri-state: -1 preset, 0 off, 1 on
   /// Nested-parallelism policy for schedulers running independent fit tasks
-  /// (core::TaskScheduler / core::BatchAnalysis); single evaluations ignore it.
+  /// (core::TaskScheduler / core::BatchAnalysis); single evaluations ignore
+  /// it, but it also gates whether ParallelFiniteDiff may fan probe points.
   ParallelPolicy policy = ParallelPolicy::Auto;
+  /// Gradient computation for the BFGS fits.
+  GradientMode gradient = GradientMode::FiniteDiff;
 };
 
 constexpr lik::LikelihoodOptions resolvedEngineOptions(

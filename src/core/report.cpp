@@ -20,7 +20,9 @@ void writeFitReport(std::ostream& os, const FitResult& fit) {
     os << "    omega2 = " << fit.params.omega2 << '\n';
   os << "    p0 = " << fit.params.p0 << ", p1 = " << fit.params.p1 << '\n'
      << "    iterations = " << fit.iterations
-     << ", function evaluations = " << fit.functionEvaluations
+     << ", function evaluations = " << fit.functionEvaluations << " + "
+     << fit.gradientEvaluations << " gradient ("
+     << gradientModeName(fit.gradientMode) << ')'
      << (fit.converged ? " (converged)" : " (iteration cap reached)") << '\n'
      << "    wall time = " << std::setprecision(3) << fit.seconds << " s\n";
 }
@@ -126,6 +128,8 @@ void writeBatchSummary(std::ostream& os,
   os << "  engine totals: " << totals.evaluations << " evaluations, "
      << totals.eigenDecompositions << " eigendecompositions, "
      << totals.propagatorBuilds << " propagator builds";
+  if (totals.gradientSweeps > 0)
+    os << ", " << totals.gradientSweeps << " gradient sweeps";
   if (totals.propagatorCacheHits + totals.propagatorCacheMisses > 0)
     os << ", cache " << totals.propagatorCacheHits << " hits / "
        << totals.propagatorCacheMisses << " misses";
@@ -173,6 +177,7 @@ void jsonCounters(std::ostream& os, const lik::EvalCounters& c) {
      << ",\"eigenDecompositions\":" << c.eigenDecompositions
      << ",\"propagatorBuilds\":" << c.propagatorBuilds
      << ",\"patternPropagations\":" << c.patternPropagations
+     << ",\"gradientSweeps\":" << c.gradientSweeps
      << ",\"cacheHits\":" << c.propagatorCacheHits
      << ",\"cacheMisses\":" << c.propagatorCacheMisses << '}';
 }
@@ -192,7 +197,10 @@ void jsonFit(std::ostream& os, const FitResult& fit) {
   jsonNumber(os, fit.params.p1);
   os << ",\"iterations\":" << fit.iterations
      << ",\"functionEvaluations\":" << fit.functionEvaluations
-     << ",\"converged\":" << (fit.converged ? "true" : "false")
+     << ",\"gradientEvaluations\":" << fit.gradientEvaluations
+     << ",\"gradientMode\":";
+  jsonString(os, gradientModeName(fit.gradientMode));
+  os << ",\"converged\":" << (fit.converged ? "true" : "false")
      << ",\"seconds\":";
   jsonNumber(os, fit.seconds);
   os << ",\"counters\":";

@@ -3,7 +3,9 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/objective.hpp"
 #include "opt/transforms.hpp"
+#include "support/parallel.hpp"
 #include "support/require.hpp"
 
 namespace slim::core {
@@ -69,6 +71,8 @@ class SitePacking {
     return branch_.toExternal(x[branchOffset() + k]);
   }
 
+  const opt::Transform& branchTransform() const noexcept { return branch_; }
+
  private:
   bool m2a_;
   int numBranches_;
@@ -107,9 +111,9 @@ SiteModelFitResult SiteModelAnalysis::fit(SiteModel m) {
   const auto& gc = *alignment_.code;
 
   // Hypothesis tag is irrelevant for the generic mixture path.
+  const auto likOptions = resolvedEngineOptions(engine_, options_.tuning);
   lik::BranchSiteLikelihood eval(alignment_, patterns_, pi_, tree_,
-                                 Hypothesis::H1,
-                                 resolvedEngineOptions(engine_, options_.tuning));
+                                 Hypothesis::H1, likOptions);
 
   const int numBranches = eval.numBranches();
   const SitePacking packing(m, numBranches);
@@ -117,19 +121,24 @@ SiteModelFitResult SiteModelAnalysis::fit(SiteModel m) {
   for (int k = 0; k < numBranches; ++k) startLengths[k] = eval.branchLength(k);
   const auto x0 = packing.pack(options_.initialParams, startLengths);
 
-  const auto objective = [&](std::span<const double> x) -> double {
-    try {
-      const SiteModelParams p = packing.unpackParams(x);
-      for (int k = 0; k < numBranches; ++k)
-        eval.setBranchLength(k, packing.branchLength(x, k));
-      const double lnL = eval.logLikelihood(buildSpec(m, gc, pi_, p));
-      return std::isfinite(lnL) ? -lnL : 1e100;
-    } catch (const std::invalid_argument&) {
-      return 1e100;
-    } catch (const std::runtime_error&) {
-      return 1e100;
-    }
-  };
+  // Same derivative-aware objective as fitHypothesis, with the site-model
+  // packing and spec builder plugged into the prepare hook.
+  const GradientMode mode = options_.tuning.gradient;
+  const int fanWorkers = mode == GradientMode::FiniteDiff
+                             ? 1
+                             : support::resolveThreadCount(likOptions.numThreads);
+  LikelihoodObjective objective(
+      eval, alignment_, patterns_, pi_, tree_, Hypothesis::H1, likOptions,
+      mode, options_.tuning.policy, fanWorkers,
+      {packing.branchOffset(), numBranches, packing.branchTransform()},
+      [&packing, &gc, this, m, numBranches](
+          lik::BranchSiteLikelihood& e,
+          std::span<const double> x) -> model::MixtureSpec {
+        const SiteModelParams p = packing.unpackParams(x);
+        for (int k = 0; k < numBranches; ++k)
+          e.setBranchLength(k, packing.branchLength(x, k));
+        return buildSpec(m, gc, pi_, p);
+      });
 
   const auto r = opt::minimizeBfgs(objective, x0, options_.bfgs);
 
@@ -142,6 +151,8 @@ SiteModelFitResult SiteModelAnalysis::fit(SiteModel m) {
     out.branchLengths[k] = packing.branchLength(r.x, k);
   out.iterations = r.iterations;
   out.functionEvaluations = r.functionEvaluations;
+  out.gradientEvaluations = r.gradientEvaluations;
+  out.gradientMode = mode;
   out.converged = r.converged;
   out.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

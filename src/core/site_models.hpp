@@ -43,6 +43,9 @@ struct SiteModelFitResult {
   std::vector<double> branchLengths;
   int iterations = 0;
   long functionEvaluations = 0;
+  /// Objective evaluations spent inside gradients (see FitResult).
+  long gradientEvaluations = 0;
+  GradientMode gradientMode = GradientMode::FiniteDiff;
   bool converged = false;
   double seconds = 0;
 };

@@ -80,6 +80,22 @@ void CodonEigenSystem::transitionMatrix(double t, ReconstructionPath path,
     if (p.data()[k] < 0.0) p.data()[k] = 0.0;
 }
 
+void CodonEigenSystem::derivativeMatrix(double t, Flavor flavor,
+                                        ExpmWorkspace& ws, Matrix& dp) const {
+  const std::size_t nn = n();
+  SLIM_REQUIRE(t >= 0, "branch length must be non-negative");
+  SLIM_REQUIRE(dp.rows() == nn && dp.square(), "output shape mismatch");
+  if (ws.y.rows() != nn) ws.y.resize(nn, nn);
+  if (ws.z.rows() != nn || ws.z.cols() != nn) ws.z.resize(nn, nn);
+  if (ws.expDiag.size() != nn) ws.expDiag.assign(nn, 0.0);
+
+  for (std::size_t i = 0; i < nn; ++i)
+    ws.expDiag[i] = eig_.values[i] * std::exp(eig_.values[i] * t);
+  linalg::scaleCols(eig_.vectors, ws.expDiag.span(), ws.y);
+  linalg::gemmNT(flavor, ws.y, eig_.vectors, ws.z);
+  linalg::scaleSandwich(ws.z, invSqrtPi_, sqrtPi_, dp);
+}
+
 void CodonEigenSystem::symmetricPropagator(double t, Flavor flavor,
                                            ExpmWorkspace& ws, Matrix& m) const {
   const std::size_t nn = n();

@@ -69,6 +69,18 @@ class CodonEigenSystem {
                         linalg::Flavor flavor, ExpmWorkspace& ws,
                         linalg::Matrix& p) const;
 
+  /// Fill dp with dP(t)/dt = Q e^{Qt}, the branch-length derivative of the
+  /// propagator, via the same eigendecomposition:
+  ///   dP/dt = Pi^{-1/2} X (Lambda e^{Lambda t}) X^T Pi^{1/2},
+  /// i.e. the Eq. 9 reconstruction with the exponentials scaled by their
+  /// eigenvalues.  No roundoff clamping: unlike P, dP legitimately carries
+  /// negative entries.  One O(n^3) product per (omega class, branch length)
+  /// — what makes a full analytic branch gradient cost a constant number of
+  /// pruning-sweep equivalents instead of one likelihood evaluation per
+  /// branch.
+  void derivativeMatrix(double t, linalg::Flavor flavor, ExpmWorkspace& ws,
+                        linalg::Matrix& dp) const;
+
   /// Eq. 12-13: fill m with the *symmetric* propagator M = Yhat Yhat^T such
   /// that e^{Qt} w = M (Pi w).  Use with linalg::symv.
   void symmetricPropagator(double t, linalg::Flavor flavor, ExpmWorkspace& ws,

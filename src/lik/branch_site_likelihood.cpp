@@ -49,6 +49,9 @@ BranchSiteLikelihood::BranchSiteLikelihood(
   SLIM_REQUIRE(options_.cacheCapacity > 0, "cacheCapacity must be positive");
 
   branchNodes_ = tree_.branches();
+  nodeToBranch_.assign(tree_.numNodes(), -1);
+  for (int k = 0; k < static_cast<int>(branchNodes_.size()); ++k)
+    nodeToBranch_[branchNodes_[k]] = k;
 
   // Map leaves onto alignment rows by name and build their static CPVs.
   leafCpv_.resize(tree_.numNodes());
@@ -392,9 +395,10 @@ double BranchSiteLikelihood::logLikelihood(
       model::buildModelASpec(gc_, pi_, params, hypothesis_));
 }
 
-double BranchSiteLikelihood::logLikelihood(const MixtureSpec& spec) {
-  computeClassLikelihoods(spec);
-
+double BranchSiteLikelihood::mixClassLikelihoods(
+    std::vector<double>& maxScaleLog, std::vector<double>& mixture) const {
+  maxScaleLog.resize(npat_);
+  mixture.resize(npat_);
   double lnL = 0.0;
   for (int h = 0; h < npat_; ++h) {
     double maxS = classScaleLog_[0][h];
@@ -404,11 +408,305 @@ double BranchSiteLikelihood::logLikelihood(const MixtureSpec& spec) {
     for (int m = 0; m < numClasses_; ++m)
       f += classProp_[m] * classLik_[m][h] *
            std::exp(classScaleLog_[m][h] - maxS);
+    maxScaleLog[h] = maxS;
+    mixture[h] = f;
     if (!(f > 0.0) || !std::isfinite(f))
       return -std::numeric_limits<double>::infinity();
     lnL += patterns_.weights[h] * (std::log(f) + maxS);
   }
   return lnL;
+}
+
+double BranchSiteLikelihood::logLikelihood(const MixtureSpec& spec) {
+  computeClassLikelihoods(spec);
+  return mixClassLikelihoods(mixMaxScaleLog_, mixMixture_);
+}
+
+double BranchSiteLikelihood::logLikelihoodGradientBranches(
+    const model::BranchSiteParams& params, std::span<double> gradT) {
+  params.validate(hypothesis_);
+  return logLikelihoodGradientBranches(
+      model::buildModelASpec(gc_, pi_, params, hypothesis_), gradT);
+}
+
+double BranchSiteLikelihood::logLikelihoodGradientBranches(
+    const MixtureSpec& spec, std::span<double> gradT) {
+  computeClassLikelihoods(spec);
+  return gradientBranchesFromState(gradT);
+}
+
+double BranchSiteLikelihood::gradientBranchesAtLastEvaluation(
+    std::span<double> gradT) {
+  SLIM_REQUIRE(numClasses_ > 0,
+               "gradientBranchesAtLastEvaluation: no prior evaluation");
+  return gradientBranchesFromState(gradT);
+}
+
+double BranchSiteLikelihood::gradientBranchesFromState(std::span<double> gradT) {
+  const int numB = numBranches();
+  SLIM_REQUIRE(static_cast<int>(gradT.size()) == numB, "gradient size mismatch");
+  std::fill(gradT.begin(), gradT.end(), 0.0);
+
+  const double lnL = mixClassLikelihoods(mixMaxScaleLog_, mixMixture_);
+  if (!std::isfinite(lnL)) return lnL;  // underflow: gradient undefined
+  ++counters_.gradientSweeps;
+
+  buildGradientPropagators();
+  if (gradWorkspaces_.size() != workspaces_.size())
+    gradWorkspaces_.resize(workspaces_.size());
+
+  // Same task shape as the likelihood sweep: every (site class, pattern
+  // block) pair is independent.  Each task writes per-(branch, pattern)
+  // contributions into its class's slab — per-pattern values are independent
+  // of the block partition, and the reduction below runs in fixed
+  // (branch, pattern, class) order — so the gradient, like the likelihood,
+  // is bit-identical for every thread count and block size.
+  const int numBlocks = (npat_ + blockMax_ - 1) / blockMax_;
+  const int numTasks = numClasses_ * numBlocks;
+  const std::size_t slabSize = static_cast<std::size_t>(numB) * npat_;
+  gradContrib_.assign(static_cast<std::size_t>(numClasses_) * slabSize, 0.0);
+  std::vector<double>& contrib = gradContrib_;
+  const auto runTask = [&](int task, int worker) {
+    const int m = task / numBlocks;
+    const int b = task % numBlocks;
+    const int h0 = b * blockMax_;
+    gradientClassBlock(m, h0, std::min(blockMax_, npat_ - h0), mixMaxScaleLog_,
+                       mixMixture_, gradWorkspaces_[worker],
+                       std::span<double>(contrib.data() + m * slabSize,
+                                         slabSize));
+  };
+  if (pool_) {
+    pool_->parallelFor(numTasks, runTask);
+  } else {
+    for (int task = 0; task < numTasks; ++task) runTask(task, 0);
+  }
+  // Fixed (branch, class, pattern) reduction order: deterministic and
+  // partition-independent like the task writes, with the innermost loop
+  // running linearly through each slab's contiguous pattern row.
+  for (int k = 0; k < numB; ++k) {
+    double g = 0.0;
+    for (int m = 0; m < numClasses_; ++m) {
+      const double* row =
+          contrib.data() + m * slabSize + static_cast<std::size_t>(k) * npat_;
+      for (int h = 0; h < npat_; ++h) g += row[h];
+    }
+    gradT[k] = g;
+  }
+  for (auto& ws : gradWorkspaces_) {
+    counters_.patternPropagations += ws.patternPropagations;
+    ws.patternPropagations = 0;
+  }
+  return lnL;
+}
+
+void BranchSiteLikelihood::buildGradientPropagators() {
+  const std::size_t propSlots =
+      static_cast<std::size_t>(tree_.numNodes()) * numOmegas_;
+  gradProp_.resize(propSlots);
+  gradPropT_.resize(propSlots);
+  gradDerivT_.resize(propSlots);
+  std::vector<char> built(propSlots, 0);
+  Matrix dp(n_, n_);
+  for (int node : branchNodes_) {
+    const bool marked = tree_.node(node).mark != 0;
+    for (int m = 0; m < numClasses_; ++m) {
+      const auto& cls = activeClasses_[m];
+      const int omegaIdx = marked ? cls.omegaForeground : cls.omegaBackground;
+      const std::size_t slot = propIndex(node, omegaIdx);
+      if (built[slot]) continue;
+      built[slot] = 1;
+      const auto& es = eigenSystems_[omegaToEigen_[omegaIdx]];
+      double t = tree_.branchLength(node);
+      // Differentiate at the same (possibly quantized) length the evaluation
+      // propagated with, so gradient and objective describe one function.
+      if (shard_ && options_.cacheQuantum > 0.0)
+        t = std::round(t / options_.cacheQuantum) * options_.cacheQuantum;
+      Matrix& p = gradProp_[slot];
+      Matrix& pT = gradPropT_[slot];
+      if (p.rows() != static_cast<std::size_t>(n_)) p.resize(n_, n_);
+      if (pT.rows() != static_cast<std::size_t>(n_)) pT.resize(n_, n_);
+      // The evaluation's propagator table (still addressable — the gradient
+      // runs on the retained state of the last evaluation) already holds P^T
+      // under BundledGemm and P under PerSiteGemv; the symmetric / factored
+      // strategies store M / Yhat, so reconstruct P for those.
+      const Matrix* stored = slot < propPtr_.size() ? propPtr_[slot] : nullptr;
+      if (stored && options_.propagation == PropagationStrategy::BundledGemm) {
+        pT = *stored;
+        linalg::transposeInto(pT, p);
+      } else if (stored &&
+                 options_.propagation == PropagationStrategy::PerSiteGemv) {
+        p = *stored;
+        linalg::transposeInto(p, pT);
+      } else {
+        es.transitionMatrix(t, options_.reconstruction, options_.flavor,
+                            expmWs_, p);
+        linalg::transposeInto(p, pT);
+        ++counters_.propagatorBuilds;
+      }
+      Matrix& dT = gradDerivT_[slot];
+      if (dT.rows() != static_cast<std::size_t>(n_)) dT.resize(n_, n_);
+      es.derivativeMatrix(t, options_.flavor, expmWs_, dp);
+      linalg::transposeInto(dp, dT);
+      ++counters_.propagatorBuilds;
+    }
+  }
+}
+
+void BranchSiteLikelihood::gradientClassBlock(
+    int m, int h0, int len, std::span<const double> maxScaleLog,
+    std::span<const double> mixture, GradientWorkspace& ws,
+    std::span<double> gradOut) {
+  const int numNodes = tree_.numNodes();
+  if (static_cast<int>(ws.down.size()) != numNodes) {
+    ws.down.resize(numNodes);
+    ws.prod.resize(numNodes);
+    ws.up.resize(numNodes);
+    ws.sDown.resize(numNodes);
+    ws.uScale.resize(numNodes);
+  }
+  if (ws.outside.rows() != static_cast<std::size_t>(blockMax_)) {
+    ws.outside.resize(blockMax_, n_);
+    ws.deriv.resize(blockMax_, n_);
+  }
+
+  const auto flavor = options_.flavor;
+  const int root = tree_.root();
+  const auto& cls = activeClasses_[m];
+  const auto omegaOf = [&](int node) {
+    return tree_.node(node).mark != 0 ? cls.omegaForeground
+                                      : cls.omegaBackground;
+  };
+  const auto childPanel = [&](int c) -> ConstMatrixView {
+    return tree_.node(c).isLeaf()
+               ? leafCpv_[c].rowBlock(h0, len)
+               : ConstMatrixView(ws.down[c].rowBlock(0, len));
+  };
+
+  // Down (post-order) pass — the likelihood sweep again, but *retaining* per
+  // node the subtree conditional panel D, its scale log, and per child the
+  // propagated panel prod = P * D_child (the outside recursion multiplies
+  // sibling prods together).
+  for (int id : tree_.postOrder()) {
+    const auto& node = tree_.node(id);
+    if (node.isLeaf()) {
+      ws.sDown[id].assign(len, 0.0);
+      continue;
+    }
+    Matrix& dStore = ws.down[id];
+    if (dStore.rows() != static_cast<std::size_t>(blockMax_))
+      dStore.resize(blockMax_, n_);
+    const MatrixView d = dStore.rowBlock(0, len);
+    for (int h = 0; h < len; ++h) {
+      double* row = d.row(h);
+      std::fill(row, row + n_, 1.0);
+    }
+    auto& scale = ws.sDown[id];
+    scale.assign(len, 0.0);
+
+    for (int c : node.children) {
+      Matrix& prodStore = ws.prod[c];
+      if (prodStore.rows() != static_cast<std::size_t>(blockMax_))
+        prodStore.resize(blockMax_, n_);
+      const MatrixView prod = prodStore.rowBlock(0, len);
+      linalg::gemm(flavor, childPanel(c),
+                   gradPropT_[propIndex(c, omegaOf(c))].view(), prod);
+      linalg::hadamardInPlace(ConstMatrixView(prod).span(), d.span());
+      for (int h = 0; h < len; ++h) scale[h] += ws.sDown[c][h];
+      ws.patternPropagations += len;
+    }
+
+    // Underflow rescue, exactly as in the likelihood sweep.
+    for (int h = 0; h < len; ++h) {
+      double mx = 0.0;
+      double* row = d.row(h);
+      for (int i = 0; i < n_; ++i) mx = std::max(mx, row[i]);
+      if (mx > 0.0 && mx < options_.scalingThreshold) {
+        const double inv = 1.0 / mx;
+        for (int i = 0; i < n_; ++i) row[i] *= inv;
+        scale[h] += std::log(mx);
+      }
+    }
+  }
+
+  // Up (pre-order) pass.  The outside panel O_c of the edge above node c
+  // satisfies   L_true(h) = sum_ij O_c(h,i) P_c(i,j) D_c(h,j) * e^{s_c + o_c},
+  // so the branch derivative only swaps P_c for dP_c/dt in that bilinear
+  // form.  Recursion from the root (O_root = pi): O_c = U_v ⊙ Π_{siblings}
+  // prod, U_c = P_c^T O_c, with scale logs carried alongside.
+  Matrix& upRoot = ws.up[root];
+  if (upRoot.rows() != static_cast<std::size_t>(blockMax_))
+    upRoot.resize(blockMax_, n_);
+  {
+    const MatrixView u = upRoot.rowBlock(0, len);
+    for (int h = 0; h < len; ++h) {
+      double* row = u.row(h);
+      for (int i = 0; i < n_; ++i) row[i] = pi_[i];
+    }
+    ws.uScale[root].assign(len, 0.0);
+  }
+
+  const auto& post = tree_.postOrder();
+  for (auto it = post.rbegin(); it != post.rend(); ++it) {
+    const int id = *it;
+    const auto& node = tree_.node(id);
+    if (node.isLeaf()) continue;
+    const ConstMatrixView u = ws.up[id].rowBlock(0, len);
+    const auto& uScale = ws.uScale[id];
+
+    for (int c : node.children) {
+      const MatrixView o = ws.outside.rowBlock(0, len);
+      linalg::copy(u.span(), o.span());
+      ws.oScale.assign(len, 0.0);
+      for (int h = 0; h < len; ++h) ws.oScale[h] = uScale[h];
+      for (int s : node.children) {
+        if (s == c) continue;
+        linalg::hadamardInPlace(
+            ConstMatrixView(ws.prod[s].rowBlock(0, len)).span(), o.span());
+        for (int h = 0; h < len; ++h) ws.oScale[h] += ws.sDown[s][h];
+      }
+
+      const std::size_t slot = propIndex(c, omegaOf(c));
+      const MatrixView deriv = ws.deriv.rowBlock(0, len);
+      linalg::gemm(flavor, childPanel(c), gradDerivT_[slot].view(), deriv);
+      ws.patternPropagations += len;
+
+      const int k = nodeToBranch_[c];
+      for (int h = 0; h < len; ++h) {
+        const double dval = linalg::dot(o.rowSpan(h), deriv.rowSpan(h));
+        if (dval == 0.0) continue;
+        // exp() applied in two halves: a rescale deep in the tree can push
+        // the scale restoration near the overflow edge before the (tiny)
+        // bilinear form damps it, and the split keeps each factor finite.
+        const double eHalf =
+            std::exp(0.5 * (ws.sDown[c][h] + ws.oScale[h] - maxScaleLog[h0 + h]));
+        gradOut[static_cast<std::size_t>(k) * npat_ + h0 + h] =
+            patterns_.weights[h0 + h] * classProp_[m] *
+            ((dval * eHalf) * eHalf) / mixture[h0 + h];
+      }
+
+      if (!tree_.node(c).isLeaf()) {
+        Matrix& upC = ws.up[c];
+        if (upC.rows() != static_cast<std::size_t>(blockMax_))
+          upC.resize(blockMax_, n_);
+        const MatrixView uc = upC.rowBlock(0, len);
+        linalg::gemm(flavor, ConstMatrixView(o), gradProp_[slot].view(), uc);
+        ws.patternPropagations += len;
+        auto& us = ws.uScale[c];
+        us.assign(len, 0.0);
+        for (int h = 0; h < len; ++h) {
+          us[h] = ws.oScale[h];
+          double mx = 0.0;
+          double* row = uc.row(h);
+          for (int i = 0; i < n_; ++i) mx = std::max(mx, row[i]);
+          if (mx > 0.0 && mx < options_.scalingThreshold) {
+            const double inv = 1.0 / mx;
+            for (int i = 0; i < n_; ++i) row[i] *= inv;
+            us[h] += std::log(mx);
+          }
+        }
+      }
+    }
+  }
 }
 
 SiteClassPosteriors BranchSiteLikelihood::siteClassPosteriors(

@@ -41,8 +41,11 @@ namespace slim::lik {
 struct EvalCounters {
   std::int64_t evaluations = 0;           ///< logLikelihood calls
   std::int64_t eigenDecompositions = 0;   ///< symmetric eigenproblems solved
-  std::int64_t propagatorBuilds = 0;      ///< P(t) / M / Yhat constructions
+  std::int64_t propagatorBuilds = 0;      ///< P(t) / dP(t) / M / Yhat constructions
   std::int64_t patternPropagations = 0;   ///< branch x class x pattern ops
+  /// Analytic branch-gradient sweeps (logLikelihoodGradientBranches calls);
+  /// each replaces numBranches finite-difference evaluations.
+  std::int64_t gradientSweeps = 0;
   /// Persistent propagator-cache traffic (only counted when
   /// LikelihoodOptions::cachePropagators is on).
   std::int64_t propagatorCacheHits = 0;
@@ -58,6 +61,7 @@ inline EvalCounters& operator+=(EvalCounters& a, const EvalCounters& b) noexcept
   a.eigenDecompositions += b.eigenDecompositions;
   a.propagatorBuilds += b.propagatorBuilds;
   a.patternPropagations += b.patternPropagations;
+  a.gradientSweeps += b.gradientSweeps;
   a.propagatorCacheHits += b.propagatorCacheHits;
   a.propagatorCacheMisses += b.propagatorCacheMisses;
   return a;
@@ -113,6 +117,29 @@ class BranchSiteLikelihood {
   SiteClassPosteriors siteClassPosteriors(const model::BranchSiteParams& params);
   SiteClassPosteriors siteClassPosteriors(const model::MixtureSpec& spec);
 
+  // --- analytic branch-length gradients ---
+  /// ln L plus the analytic derivative d lnL / d t_k for every branch k (in
+  /// branchNodes() order), at the given substitution parameters and the
+  /// current branch lengths.  One evaluation plus one extra pruning-style
+  /// sweep: a post-order pass retaining per-node conditional panels, a
+  /// pre-order pass building the complementary "outside" panels, and per
+  /// branch one panel product with dP(t)/dt — O(1) sweep-equivalents for the
+  /// whole branch gradient instead of the numBranches + 1 evaluations of
+  /// finite differences.  Returns -infinity (gradT zeroed) if a site
+  /// likelihood underflows to zero.
+  double logLikelihoodGradientBranches(const model::BranchSiteParams& params,
+                                       std::span<double> gradT);
+  double logLikelihoodGradientBranches(const model::MixtureSpec& spec,
+                                       std::span<double> gradT);
+
+  /// Same gradient computed from the *retained* class-conditional state of
+  /// the immediately preceding logLikelihood / logLikelihoodGradientBranches
+  /// call, skipping the re-evaluation: the caller guarantees neither the
+  /// substitution parameters nor any branch length changed since.  The
+  /// optimizer adapter uses this because BFGS always differentiates at the
+  /// point the line search just evaluated.
+  double gradientBranchesAtLastEvaluation(std::span<double> gradT);
+
   // --- branch-length state ---
   /// Non-root nodes in post-order; branch k of the optimization vector is
   /// the edge above branchNodes()[k].
@@ -161,9 +188,48 @@ class BranchSiteLikelihood {
     std::int64_t patternPropagations = 0;
   };
 
+  // Per-worker scratch for one gradient pattern block: the post-order pass
+  // retains per-node conditional panels (the likelihood sweep overwrites
+  // them), the pre-order pass adds the complementary outside panels.  Same
+  // isolation discipline as PruneWorkspace: concurrent blocks share nothing
+  // mutable, results land in slots addressed by task index.
+  struct GradientWorkspace {
+    std::vector<linalg::Matrix> down;   // per internal node: blockMax x n CPV
+    std::vector<linalg::Matrix> prod;   // per non-root node: P * child CPV
+    std::vector<linalg::Matrix> up;     // per internal node: outside panel
+    std::vector<std::vector<double>> sDown;   // per node: subtree scale log
+    std::vector<std::vector<double>> uScale;  // per internal node
+    linalg::Matrix outside;             // one child's outside panel (scratch)
+    std::vector<double> oScale;         // its scale log (scratch)
+    linalg::Matrix deriv;               // dP * child CPV (scratch)
+    std::int64_t patternPropagations = 0;
+  };
+
   // Class-conditional pattern likelihoods: fills classLik_[m][h] (scaled)
   // and classScaleLog_[m][h] (log of the removed scale).
   void computeClassLikelihoods(const model::MixtureSpec& spec);
+
+  // Mix the retained class results into per-pattern scale maxima and scaled
+  // mixture likelihoods; returns lnL (-infinity on underflow).
+  double mixClassLikelihoods(std::vector<double>& maxScaleLog,
+                             std::vector<double>& mixture) const;
+
+  // The shared gradient pass over the retained class state (the tail of
+  // logLikelihoodGradientBranches / gradientBranchesAtLastEvaluation).
+  double gradientBranchesFromState(std::span<double> gradT);
+
+  // Build the (P, P^T, dP^T) triple for every (branch node, omega) the
+  // active classes reference, reusing the propagators the evaluation cached
+  // where their stored layout permits.
+  void buildGradientPropagators();
+
+  // Down + up sweep for site class m over patterns [h0, h0 + len), writing
+  // each branch's per-pattern gradient contribution into the class slab
+  // gradOut (numBranches x numPatterns, branch-major) at [k * npat + h].
+  void gradientClassBlock(int m, int h0, int len,
+                          std::span<const double> maxScaleLog,
+                          std::span<const double> mixture,
+                          GradientWorkspace& ws, std::span<double> gradOut);
 
   // (Re)build eigenSystems_ / omegaToEigen_ for the spec, reusing them — and
   // keeping the propagator cache — when the spec is unchanged since the last
@@ -212,6 +278,7 @@ class BranchSiteLikelihood {
   // Parallel sweep machinery.
   std::unique_ptr<support::ThreadPool> pool_;   // null: single-threaded
   std::vector<PruneWorkspace> workspaces_;      // one per worker
+  std::vector<GradientWorkspace> gradWorkspaces_;  // lazily sized on first use
 
   // Per-evaluation state, set from the active MixtureSpec.
   int numClasses_ = 0;
@@ -225,6 +292,17 @@ class BranchSiteLikelihood {
   expm::ExpmWorkspace expmWs_;
   linalg::Matrix transposeScratch_;  // BundledGemm builds P here, stores P^T
 
+  // Gradient-sweep propagator tables, (node x omega)-indexed like propPtr_
+  // and rebuilt per gradient call (branch lengths move every iteration):
+  // P for the outside recursion, P^T and dP^T for the row-major panel gemms.
+  std::vector<linalg::Matrix> gradProp_;    // P
+  std::vector<linalg::Matrix> gradPropT_;   // P^T
+  std::vector<linalg::Matrix> gradDerivT_;  // (dP/dt)^T
+  std::vector<int> nodeToBranch_;  // node id -> branch index k (or -1)
+  // Per-(class, branch, pattern) contribution slabs, persistent so the
+  // per-sweep hot path only zero-fills (capacity is kept across calls).
+  std::vector<double> gradContrib_;
+
   // Persistent propagator store (cachePropagators mode; else null).  May be
   // shared across sequential evaluators via the constructor's shard param.
   std::shared_ptr<PropagatorCacheShard> shard_;
@@ -233,6 +311,10 @@ class BranchSiteLikelihood {
   std::vector<std::vector<double>> classLik_;
   std::vector<std::vector<double>> classScaleLog_;
   std::vector<double> classProp_;
+  // Per-pattern mixing scratch (mixClassLikelihoods output), persistent so
+  // the per-evaluation hot path performs no allocation.
+  std::vector<double> mixMaxScaleLog_;
+  std::vector<double> mixMixture_;
 
   EvalCounters counters_;
 };

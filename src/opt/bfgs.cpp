@@ -17,38 +17,14 @@ double infNorm(std::span<const double> v) noexcept {
 
 }  // namespace
 
-void fdGradient(const Objective& f, std::span<const double> x, double f0,
-                double relStep, bool central, std::span<double> grad,
-                long& evals) {
-  const std::size_t n = x.size();
-  SLIM_REQUIRE(grad.size() == n, "gradient size mismatch");
-  std::vector<double> xp(x.begin(), x.end());
-  for (std::size_t i = 0; i < n; ++i) {
-    const double h = relStep * (std::fabs(x[i]) + 1.0);
-    const double xi = x[i];
-    xp[i] = xi + h;
-    const double fPlus = f(xp);
-    ++evals;
-    if (central) {
-      xp[i] = xi - h;
-      const double fMinus = f(xp);
-      ++evals;
-      grad[i] = (fPlus - fMinus) / (2.0 * h);
-    } else {
-      grad[i] = (fPlus - f0) / h;
-    }
-    xp[i] = xi;
-  }
-}
-
-BfgsResult minimizeBfgs(const Objective& f, std::span<const double> x0,
+BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
                         const BfgsOptions& options) {
   const std::size_t n = x0.size();
   SLIM_REQUIRE(n > 0, "BFGS: empty parameter vector");
 
   BfgsResult res;
   res.x.assign(x0.begin(), x0.end());
-  res.value = f(res.x);
+  res.value = f.value(res.x);
   ++res.functionEvaluations;
   SLIM_REQUIRE(std::isfinite(res.value),
                "BFGS: objective not finite at the starting point");
@@ -58,8 +34,19 @@ BfgsResult minimizeBfgs(const Objective& f, std::span<const double> x0,
   for (std::size_t i = 0; i < n; ++i) hInv[i * n + i] = 1.0;
 
   std::vector<double> grad(n), gradNew(n), dir(n), xNew(n), s(n), y(n), hy(n);
-  fdGradient(f, res.x, res.value, options.fdStep, options.centralDifferences,
-             grad, res.functionEvaluations);
+
+  // Gradients always come from the objective, which reports how many extra
+  // evaluations (FD probes) it spent; passing the known f(x) spares it the
+  // value re-evaluation.
+  const auto gradientAt = [&](std::span<const double> x, double fx,
+                              std::span<double> g) {
+    const GradientResult gr = f.valueAndGradient(
+        x, g, {options.fdStep, options.centralDifferences, fx});
+    res.gradientEvaluations += gr.functionEvaluations;
+    res.gradientSweeps += gr.gradientSweeps;
+    res.analyticCoordinates = gr.analyticCoordinates;
+  };
+  gradientAt(res.x, res.value, grad);
 
   int slowProgress = 0;
   for (res.iterations = 0; res.iterations < options.maxIterations;
@@ -93,7 +80,7 @@ BfgsResult minimizeBfgs(const Objective& f, std::span<const double> x0,
     bool accepted = false;
     for (int ls = 0; ls < options.maxLineSearchSteps; ++ls) {
       for (std::size_t i = 0; i < n; ++i) xNew[i] = res.x[i] + step * dir[i];
-      fNew = f(xNew);
+      fNew = f.value(xNew);
       ++res.functionEvaluations;
       if (std::isfinite(fNew) &&
           fNew <= res.value + options.armijoC1 * step * gTd) {
@@ -109,8 +96,7 @@ BfgsResult minimizeBfgs(const Objective& f, std::span<const double> x0,
       return res;
     }
 
-    fdGradient(f, xNew, fNew, options.fdStep, options.centralDifferences,
-               gradNew, res.functionEvaluations);
+    gradientAt(xNew, fNew, gradNew);
 
     // BFGS inverse update with curvature safeguard.
     double sy = 0.0, ss = 0.0, yy = 0.0;
@@ -155,6 +141,12 @@ BfgsResult minimizeBfgs(const Objective& f, std::span<const double> x0,
   }
   res.message = "maximum iterations reached";
   return res;
+}
+
+BfgsResult minimizeBfgs(const Objective& f, std::span<const double> x0,
+                        const BfgsOptions& options) {
+  CallableObjective obj(f);
+  return minimizeBfgs(obj, x0, options);
 }
 
 }  // namespace slim::opt

@@ -9,8 +9,12 @@
 // reassociation in the kernels, the same sensitivity the paper reports for
 // CodeML under different RNG seeds (Sec. IV).
 //
-// Gradients are forward finite differences (optionally central), matching
-// CodeML's derivative-free usage.
+// The driver consumes the derivative-aware opt::ObjectiveFunction contract
+// (opt/objective.hpp): gradients come from the objective's valueAndGradient
+// — analytic where the objective provides them, finite differences routed
+// through evaluateMany (and hence batchable across workers) otherwise.
+// Legacy std::function objectives run through the CallableObjective shim via
+// the convenience overload.
 //
 // Reentrancy: the driver keeps all state (iterate, inverse Hessian, line
 // search, gradient scratch) in locals — no globals, no statics — so
@@ -20,16 +24,13 @@
 // with its own evaluator.  Verified by opt_test's ConcurrentDriversMatchSerial
 // and CI's TSan job.
 
-#include <functional>
 #include <span>
 #include <string>
 #include <vector>
 
-namespace slim::opt {
+#include "opt/objective.hpp"
 
-/// Objective to minimize.  May return +infinity / NaN for infeasible points;
-/// the line search backtracks away from them.
-using Objective = std::function<double(std::span<const double>)>;
+namespace slim::opt {
 
 struct BfgsOptions {
   int maxIterations = 500;
@@ -38,7 +39,8 @@ struct BfgsOptions {
   /// Converged when the improvement over an iteration is below
   /// fTolerance * (1 + |f|) twice in a row.
   double fTolerance = 1e-9;
-  /// Relative forward-difference step.
+  /// Relative finite-difference step (per-coordinate step is
+  /// fdStep * max(|x_i|, 1)).
   double fdStep = 1e-7;
   bool centralDifferences = false;
   int maxLineSearchSteps = 40;
@@ -49,20 +51,26 @@ struct BfgsResult {
   std::vector<double> x;     ///< Best point found.
   double value = 0;          ///< f(x).
   int iterations = 0;        ///< Outer BFGS iterations performed.
+  /// Objective evaluations spent on values (start point + line searches).
   long functionEvaluations = 0;
+  /// Objective evaluations spent inside gradient computations (FD probes);
+  /// total work is functionEvaluations + gradientEvaluations.
+  long gradientEvaluations = 0;
+  /// Analytic gradient sweeps the objective performed across all gradients.
+  long gradientSweeps = 0;
+  /// Coordinates of the last gradient that carried analytic derivatives.
+  int analyticCoordinates = 0;
   bool converged = false;
   std::string message;
 };
 
 /// Minimize f from x0 with BFGS (dense inverse-Hessian update, Armijo
-/// backtracking line search, finite-difference gradients).
-BfgsResult minimizeBfgs(const Objective& f, std::span<const double> x0,
+/// backtracking line search; gradients from f.valueAndGradient).
+BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
                         const BfgsOptions& options = {});
 
-/// Finite-difference gradient of f at x where f0 = f(x); evals is
-/// incremented by the number of objective calls made.
-void fdGradient(const Objective& f, std::span<const double> x, double f0,
-                double relStep, bool central, std::span<double> grad,
-                long& evals);
+/// Legacy convenience overload over a std::function objective.
+BfgsResult minimizeBfgs(const Objective& f, std::span<const double> x0,
+                        const BfgsOptions& options = {});
 
 }  // namespace slim::opt

@@ -22,7 +22,7 @@ double sanitize(double v) noexcept {
 
 }  // namespace
 
-NelderMeadResult minimizeNelderMead(const Objective& f,
+NelderMeadResult minimizeNelderMead(ObjectiveFunction& f,
                                     std::span<const double> x0,
                                     const NelderMeadOptions& options) {
   const std::size_t n = x0.size();
@@ -31,20 +31,20 @@ NelderMeadResult minimizeNelderMead(const Objective& f,
 
   NelderMeadResult res;
 
-  // Simplex of n+1 vertices: x0 and x0 + step*e_i.
+  // Simplex of n+1 vertices: x0 and x0 + step*e_i, evaluated as one batch.
   std::vector<std::vector<double>> vertex(n + 1,
                                           std::vector<double>(x0.begin(), x0.end()));
-  std::vector<double> fv(n + 1);
   for (std::size_t i = 1; i <= n; ++i) vertex[i][i - 1] += options.initialStep;
-  for (std::size_t i = 0; i <= n; ++i) {
-    fv[i] = sanitize(f(vertex[i]));
-    ++res.functionEvaluations;
-  }
+  std::vector<double> fv = f.evaluateMany(vertex);
+  res.functionEvaluations += static_cast<long>(fv.size());
+  for (auto& v : fv) v = sanitize(v);
   SLIM_REQUIRE(std::isfinite(fv[0]),
                "Nelder-Mead: objective not finite at the starting point");
 
   std::vector<std::size_t> order(n + 1);
-  std::vector<double> centroid(n), xr(n), xe(n), xc(n);
+  std::vector<double> centroid(n);
+  std::vector<std::vector<double>> pair(2, std::vector<double>(n));
+  std::vector<double> xc(n);
 
   for (res.iterations = 0; res.iterations < options.maxIterations;
        ++res.iterations) {
@@ -76,18 +76,36 @@ NelderMeadResult minimizeNelderMead(const Objective& f,
     }
     for (std::size_t i = 0; i < n; ++i) centroid[i] /= static_cast<double>(n);
 
-    // Reflection.
-    for (std::size_t i = 0; i < n; ++i)
+    // Reflection, with the expansion point evaluated speculatively in the
+    // same batch when the objective fans points across workers (a free
+    // second probe there; a wasted evaluation on a sequential objective, so
+    // only then).  Either way the expansion value is only *consumed* when
+    // the reflection beats the best vertex, exactly as in the sequential
+    // algorithm — the trajectory is identical.
+    std::vector<double>& xr = pair[0];
+    std::vector<double>& xe = pair[1];
+    for (std::size_t i = 0; i < n; ++i) {
       xr[i] = centroid[i] + kAlpha * (centroid[i] - vertex[worst][i]);
-    const double fr = sanitize(f(xr));
-    ++res.functionEvaluations;
+      xe[i] = centroid[i] + kGamma * (xr[i] - centroid[i]);
+    }
+    const bool speculate = f.batchEvaluationProfitable();
+    double fr, fe;
+    if (speculate) {
+      const std::vector<double> pairValues = f.evaluateMany(pair);
+      res.functionEvaluations += 2;
+      fr = sanitize(pairValues[0]);
+      fe = sanitize(pairValues[1]);
+    } else {
+      fr = sanitize(f.value(xr));
+      ++res.functionEvaluations;
+      fe = 0;  // evaluated below only if the reflection wins
+    }
 
     if (fr < fv[best]) {
-      // Expansion.
-      for (std::size_t i = 0; i < n; ++i)
-        xe[i] = centroid[i] + kGamma * (xr[i] - centroid[i]);
-      const double fe = sanitize(f(xe));
-      ++res.functionEvaluations;
+      if (!speculate) {
+        fe = sanitize(f.value(xe));
+        ++res.functionEvaluations;
+      }
       if (fe < fr) {
         vertex[worst] = xe;
         fv[worst] = fe;
@@ -109,7 +127,7 @@ NelderMeadResult minimizeNelderMead(const Objective& f,
     const auto& towards = outside ? xr : vertex[worst];
     for (std::size_t i = 0; i < n; ++i)
       xc[i] = centroid[i] + kRho * (towards[i] - centroid[i]);
-    const double fc = sanitize(f(xc));
+    const double fc = sanitize(f.value(xc));
     ++res.functionEvaluations;
     if (fc < (outside ? fr : fv[worst])) {
       vertex[worst] = xc;
@@ -117,14 +135,22 @@ NelderMeadResult minimizeNelderMead(const Objective& f,
       continue;
     }
 
-    // Shrink towards the best vertex.
+    // Shrink towards the best vertex (n moved vertices, one batch).
+    std::vector<std::vector<double>> shrunk;
+    std::vector<std::size_t> shrunkIdx;
+    shrunk.reserve(n);
+    shrunkIdx.reserve(n);
     for (std::size_t k = 0; k <= n; ++k) {
       if (k == best) continue;
       for (std::size_t i = 0; i < n; ++i)
         vertex[k][i] = vertex[best][i] + kSigma * (vertex[k][i] - vertex[best][i]);
-      fv[k] = sanitize(f(vertex[k]));
-      ++res.functionEvaluations;
+      shrunk.push_back(vertex[k]);
+      shrunkIdx.push_back(k);
     }
+    const std::vector<double> shrunkValues = f.evaluateMany(shrunk);
+    res.functionEvaluations += static_cast<long>(shrunk.size());
+    for (std::size_t j = 0; j < shrunkIdx.size(); ++j)
+      fv[shrunkIdx[j]] = sanitize(shrunkValues[j]);
   }
 
   std::size_t best = 0;
@@ -133,6 +159,13 @@ NelderMeadResult minimizeNelderMead(const Objective& f,
   res.x = vertex[best];
   res.value = fv[best];
   return res;
+}
+
+NelderMeadResult minimizeNelderMead(const Objective& f,
+                                    std::span<const double> x0,
+                                    const NelderMeadOptions& options) {
+  CallableObjective obj(f);
+  return minimizeNelderMead(obj, x0, options);
 }
 
 }  // namespace slim::opt

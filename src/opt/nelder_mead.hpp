@@ -7,8 +7,17 @@
 // regions (parameter bounds, mixture-weight boundaries).  Production
 // phylogenetics packages ship both; this one doubles as an independent
 // optimizer to cross-check BFGS results in tests.
+//
+// Candidate points are batched through ObjectiveFunction::evaluateMany: the
+// initial simplex, the shrink step, and — for objectives whose
+// batchEvaluationProfitable() says points actually fan across workers — the
+// reflection/expansion pair, with the expansion point evaluated
+// speculatively alongside the reflection (a free second probe there; on
+// sequential objectives it stays lazy).  The accept/reject logic consumes
+// the values exactly as the sequential algorithm would, so the trajectory
+// is unchanged either way.
 
-#include "opt/bfgs.hpp"  // Objective
+#include "opt/objective.hpp"
 
 namespace slim::opt {
 
@@ -29,6 +38,11 @@ struct NelderMeadResult {
 
 /// Minimize f from x0.  The objective may return +inf/NaN for infeasible
 /// points (treated as worse than any finite value).
+NelderMeadResult minimizeNelderMead(ObjectiveFunction& f,
+                                    std::span<const double> x0,
+                                    const NelderMeadOptions& options = {});
+
+/// Legacy convenience overload over a std::function objective.
 NelderMeadResult minimizeNelderMead(const Objective& f,
                                     std::span<const double> x0,
                                     const NelderMeadOptions& options = {});

@@ -37,6 +37,18 @@ double Transform::toInternal(double x) const noexcept {
   return x;
 }
 
+double Transform::derivative(double u) const noexcept {
+  switch (kind_) {
+    case Kind::Identity: return 1.0;
+    case Kind::Log: return std::exp(u);
+    case Kind::Logistic: {
+      const double s = 1.0 / (1.0 + std::exp(-u));
+      return (hi_ - lo_) * s * (1.0 - s);
+    }
+  }
+  return 1.0;
+}
+
 std::pair<double, double> simplex2ToExternal(double u, double v) noexcept {
   // Subtract the max exponent for overflow safety.
   const double m = std::max({0.0, u, v});

@@ -25,6 +25,10 @@ class Transform {
   /// Inverse of toExternal; x is clamped strictly inside the domain first
   /// so that boundary starting values do not map to +-infinity.
   double toInternal(double x) const noexcept;
+  /// d toExternal / du at u — the chain-rule factor mapping an analytic
+  /// derivative in the external (bounded) parameter onto the internal
+  /// optimization coordinate.
+  double derivative(double u) const noexcept;
 
  private:
   enum class Kind { Identity, Log, Logistic };

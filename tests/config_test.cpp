@@ -51,6 +51,22 @@ TEST(ConfigParse, DefaultsApplied) {
   EXPECT_EQ(cfg.fit.frequencyModel, model::CodonFrequencyModel::F3x4);
   EXPECT_TRUE(cfg.outfile.empty());
   EXPECT_FALSE(cfg.stopCodonsAsMissing);
+  EXPECT_EQ(cfg.fit.tuning.gradient, GradientMode::FiniteDiff);
+}
+
+TEST(ConfigParse, GradientModes) {
+  const char* base = "seqfile = s\ntreefile = t\ngradient = ";
+  EXPECT_EQ(Config::parseString(std::string(base) + "fd\n")
+                .fit.tuning.gradient,
+            GradientMode::FiniteDiff);
+  EXPECT_EQ(Config::parseString(std::string(base) + "fd-parallel\n")
+                .fit.tuning.gradient,
+            GradientMode::ParallelFiniteDiff);
+  EXPECT_EQ(Config::parseString(std::string(base) + "analytic\n")
+                .fit.tuning.gradient,
+            GradientMode::Analytic);
+  EXPECT_THROW(Config::parseString(std::string(base) + "newton\n"),
+               std::invalid_argument);
 }
 
 TEST(ConfigParse, Errors) {
