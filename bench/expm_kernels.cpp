@@ -8,8 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <vector>
+
 #include "expm/codon_eigen_system.hpp"
 #include "expm/pade.hpp"
+#include "linalg/diag.hpp"
+#include "linalg/simd.hpp"
 #include "model/codon_model.hpp"
 #include "sim/evolver.hpp"
 #include "sim/rng.hpp"
@@ -74,6 +79,69 @@ BENCHMARK(BM_Reconstruct_Gemm_Naive);
 BENCHMARK(BM_Reconstruct_Gemm_Opt);
 BENCHMARK(BM_Reconstruct_Syrk_Naive);
 BENCHMARK(BM_Reconstruct_Syrk_Opt);
+
+// --- SIMD-dispatched reconstruction (linalg/simd.hpp) -------------------
+//
+// "Fused" runs the kernel-table transitionMatrix overload: the Pi sandwich
+// and clamp are folded into the rank-update loop.  "Unfused" runs the same
+// level's plain syrk followed by the separate mirror-free scaleSandwich and
+// clamp passes — the legacy step sequence — isolating what fusion buys at
+// the same ISA.  Levels the host cannot run are skipped.
+void reconstructSimd(benchmark::State& state, linalg::SimdLevel level,
+                     bool fused) {
+  if (!linalg::simdLevelAvailable(level)) {
+    state.SkipWithError("SIMD level unavailable on this host");
+    return;
+  }
+  auto& s = setup();
+  const auto& kern = linalg::simdKernels(level);
+  expm::ExpmWorkspace ws;
+  linalg::Matrix p(61, 61);
+  double t = 0.01;
+  if (fused) {
+    for (auto _ : state) {
+      s.es.transitionMatrix(t, expm::ReconstructionPath::Syrk, kern, ws, p);
+      benchmark::DoNotOptimize(p.data());
+      t += 1e-6;
+    }
+  } else {
+    linalg::Matrix y(61, 61), z(61, 61);
+    std::vector<double> expDiag(61);
+    for (auto _ : state) {
+      for (std::size_t i = 0; i < 61; ++i)
+        expDiag[i] = std::exp(0.5 * s.es.eigenvalues()[i] * t);
+      linalg::scaleCols(s.es.eigenvectors(), expDiag, y);
+      linalg::syrk(kern, y, z);
+      linalg::scaleSandwich(z, s.es.invSqrtPi(), s.es.sqrtPi(), p);
+      for (std::size_t k = 0; k < p.size(); ++k)
+        if (p.data()[k] < 0.0) p.data()[k] = 0.0;
+      benchmark::DoNotOptimize(p.data());
+      t += 1e-6;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Reconstruct_Syrk_ScalarFused(benchmark::State& state) {
+  reconstructSimd(state, linalg::SimdLevel::Scalar, true);
+}
+void BM_Reconstruct_Syrk_Avx2Unfused(benchmark::State& state) {
+  reconstructSimd(state, linalg::SimdLevel::Avx2, false);
+}
+void BM_Reconstruct_Syrk_Avx2Fused(benchmark::State& state) {
+  reconstructSimd(state, linalg::SimdLevel::Avx2, true);
+}
+void BM_Reconstruct_Syrk_Avx512Unfused(benchmark::State& state) {
+  reconstructSimd(state, linalg::SimdLevel::Avx512, false);
+}
+void BM_Reconstruct_Syrk_Avx512Fused(benchmark::State& state) {
+  reconstructSimd(state, linalg::SimdLevel::Avx512, true);
+}
+BENCHMARK(BM_Reconstruct_Syrk_ScalarFused);
+BENCHMARK(BM_Reconstruct_Syrk_Avx2Unfused);
+BENCHMARK(BM_Reconstruct_Syrk_Avx2Fused);
+BENCHMARK(BM_Reconstruct_Syrk_Avx512Unfused);
+BENCHMARK(BM_Reconstruct_Syrk_Avx512Fused);
 
 void BM_SymmetricPropagator(benchmark::State& state) {
   auto& s = setup();

@@ -1,8 +1,10 @@
 #include "core/config.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 #include "core/report.hpp"
@@ -20,24 +22,46 @@ std::string trim(std::string_view s) {
 }
 
 [[noreturn]] void badLine(int lineNo, const std::string& what) {
-  throw std::invalid_argument("control file line " + std::to_string(lineNo) +
-                              ": " + what);
+  throw ConfigError("control file line " + std::to_string(lineNo) + ": " +
+                    what);
 }
 
-double parseDouble(const std::string& v, int lineNo) {
+// Numeric values go through std::stod, whose failures (invalid text,
+// overflow) must surface as a ConfigError naming the key and line, never as
+// a bare std::invalid_argument / std::out_of_range without location.
+double parseDouble(const std::string& key, const std::string& v, int lineNo) {
+  double x = 0.0;
+  std::size_t used = 0;
+  bool outOfRange = false, notANumber = false;
   try {
-    std::size_t used = 0;
-    const double x = std::stod(v, &used);
-    if (trim(v.substr(used)).empty()) return x;
-  } catch (const std::exception&) {
+    x = std::stod(v, &used);
+  } catch (const std::out_of_range&) {
+    outOfRange = true;
+  } catch (const std::invalid_argument&) {
+    notANumber = true;
   }
-  badLine(lineNo, "expected a number, got '" + v + "'");
+  if (outOfRange)
+    badLine(lineNo, "value for '" + key + "' is out of double range: '" + v +
+                        "'");
+  if (notANumber || !trim(v.substr(used)).empty())
+    badLine(lineNo, "value for '" + key + "' is not a number: '" + v + "'");
+  if (!std::isfinite(x))
+    badLine(lineNo, "value for '" + key + "' is not finite: '" + v + "'");
+  return x;
 }
 
-int parseInt(const std::string& v, int lineNo) {
-  const double x = parseDouble(v, lineNo);
+int parseInt(const std::string& key, const std::string& v, int lineNo) {
+  const double x = parseDouble(key, v, lineNo);
+  // Round-trip through int and compare as doubles: rejects fractions and
+  // values beyond int range (where the raw cast would be undefined).
+  if (x < static_cast<double>(std::numeric_limits<int>::min()) ||
+      x > static_cast<double>(std::numeric_limits<int>::max()))
+    badLine(lineNo, "value for '" + key + "' is out of integer range: '" + v +
+                        "'");
   const int i = static_cast<int>(x);
-  if (static_cast<double>(i) != x) badLine(lineNo, "expected an integer");
+  if (static_cast<double>(i) != x)
+    badLine(lineNo, "value for '" + key + "' must be an integer, got '" + v +
+                        "'");
   return i;
 }
 
@@ -79,15 +103,20 @@ Config Config::parse(std::istream& in) {
       else
         badLine(lineNo, "engine must be 'slim', 'slim-parallel' or 'codeml'");
     } else if (key == "threads") {
-      cfg.fit.tuning.numThreads = parseInt(value, lineNo);
+      cfg.fit.tuning.numThreads = parseInt(key, value, lineNo);
       if (cfg.fit.tuning.numThreads < 0)
         badLine(lineNo, "threads must be >= 0");
     } else if (key == "blockSize") {
-      cfg.fit.tuning.blockSize = parseInt(value, lineNo);
+      cfg.fit.tuning.blockSize = parseInt(key, value, lineNo);
       if (cfg.fit.tuning.blockSize < 0)
         badLine(lineNo, "blockSize must be >= 0");
     } else if (key == "cachePropagators") {
-      cfg.fit.tuning.cachePropagators = parseInt(value, lineNo) != 0 ? 1 : 0;
+      cfg.fit.tuning.cachePropagators =
+          parseInt(key, value, lineNo) != 0 ? 1 : 0;
+    } else if (key == "simd") {
+      if (!linalg::parseSimdMode(value, cfg.fit.tuning.simd))
+        badLine(lineNo,
+                "simd must be 'auto', 'scalar', 'avx2' or 'avx512'");
     } else if (key == "parallel") {
       if (value == "auto")
         cfg.fit.tuning.policy = ParallelPolicy::Auto;
@@ -114,7 +143,7 @@ Config Config::parse(std::istream& in) {
       else
         badLine(lineNo, "model must be 'branch-site' or 'site'");
     } else if (key == "CodonFreq") {
-      const int f = parseInt(value, lineNo);
+      const int f = parseInt(key, value, lineNo);
       switch (f) {
         case 0: cfg.fit.frequencyModel = model::CodonFrequencyModel::Equal; break;
         case 1: cfg.fit.frequencyModel = model::CodonFrequencyModel::F1x4; break;
@@ -123,23 +152,28 @@ Config Config::parse(std::istream& in) {
         default: badLine(lineNo, "CodonFreq must be 0..3");
       }
     } else if (key == "maxIterations") {
-      cfg.fit.bfgs.maxIterations = parseInt(value, lineNo);
+      cfg.fit.bfgs.maxIterations = parseInt(key, value, lineNo);
       if (cfg.fit.bfgs.maxIterations < 0) badLine(lineNo, "negative cap");
     } else if (key == "kappa") {
-      cfg.fit.initialParams.kappa = parseDouble(value, lineNo);
+      cfg.fit.initialParams.kappa = parseDouble(key, value, lineNo);
     } else if (key == "omega0") {
-      cfg.fit.initialParams.omega0 = parseDouble(value, lineNo);
+      cfg.fit.initialParams.omega0 = parseDouble(key, value, lineNo);
     } else if (key == "omega2") {
-      cfg.fit.initialParams.omega2 = parseDouble(value, lineNo);
+      cfg.fit.initialParams.omega2 = parseDouble(key, value, lineNo);
     } else if (key == "p0") {
-      cfg.fit.initialParams.p0 = parseDouble(value, lineNo);
+      cfg.fit.initialParams.p0 = parseDouble(key, value, lineNo);
     } else if (key == "p1") {
-      cfg.fit.initialParams.p1 = parseDouble(value, lineNo);
+      cfg.fit.initialParams.p1 = parseDouble(key, value, lineNo);
     } else if (key == "cleandata") {
-      cfg.stopCodonsAsMissing = parseInt(value, lineNo) != 0;
+      cfg.stopCodonsAsMissing = parseInt(key, value, lineNo) != 0;
     } else if (key == "seed") {
-      cfg.fit.startJitterSeed =
-          static_cast<std::uint64_t>(parseDouble(value, lineNo));
+      const double s = parseDouble(key, value, lineNo);
+      // Integral and strictly below 2^64, so the cast is defined behaviour.
+      if (s < 0 || s >= 18446744073709551616.0 || std::floor(s) != s)
+        badLine(lineNo,
+                "value for 'seed' must be a non-negative integer below "
+                "2^64, got '" + value + "'");
+      cfg.fit.startJitterSeed = static_cast<std::uint64_t>(s);
     } else {
       badLine(lineNo, "unknown key '" + key + "'");
     }

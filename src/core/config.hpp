@@ -13,6 +13,7 @@
 //     threads  = 0                 * worker threads (0: all cores)
 //     parallel = auto              * auto | task | pattern (batch fan-out)
 //     gradient = fd                * fd | fd-parallel | analytic
+//     simd     = auto              * auto | scalar | avx2 | avx512
 //     blockSize = 64               * site patterns per work block
 //     cachePropagators = 1         * persistent propagator cache on/off
 //     CodonFreq = 2                * 0 equal, 1 F1x4, 2 F3x4, 3 F61
@@ -29,6 +30,7 @@
 // core::BatchAnalysis with the H0/H1 fits fanned across the worker pool.
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,15 @@
 #include "core/site_models.hpp"
 
 namespace slim::core {
+
+/// Thrown for malformed control files.  Derives from std::invalid_argument
+/// (what callers historically caught); the message always names the line
+/// number, and value errors also name the offending key — a stod failure
+/// never escapes as a bare exception without location context.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Which test the control file requests.
 enum class AnalysisKind {

@@ -176,6 +176,7 @@ FitResult fitHypothesis(const AnalysisContext& context, Hypothesis hypothesis,
   r.functionEvaluations = bfgsResult.functionEvaluations;
   r.gradientEvaluations = bfgsResult.gradientEvaluations;
   r.gradientMode = mode;
+  r.simd = eval.simdLevel();
   r.converged = bfgsResult.converged;
   r.counters = objective.counters();
   r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -62,6 +62,8 @@ struct FitResult {
   long gradientEvaluations = 0;
   /// How the fit's gradients were computed.
   GradientMode gradientMode = GradientMode::FiniteDiff;
+  /// The SIMD kernel level the evaluator resolved `simd =` to.
+  linalg::SimdLevel simd = linalg::SimdLevel::Scalar;
   bool converged = false;
   double seconds = 0;
   lik::EvalCounters counters;

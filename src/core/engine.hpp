@@ -91,6 +91,10 @@ struct LikelihoodTuning {
   ParallelPolicy policy = ParallelPolicy::Auto;
   /// Gradient computation for the BFGS fits.
   GradientMode gradient = GradientMode::FiniteDiff;
+  /// SIMD kernel selection for the Opt-flavor hot paths (`simd =` ctl key);
+  /// see lik::LikelihoodOptions::simd.  The resolved level is recorded in
+  /// FitResult::simd and the text/JSON reports.
+  linalg::SimdMode simd = linalg::SimdMode::Auto;
 };
 
 constexpr lik::LikelihoodOptions resolvedEngineOptions(
@@ -100,6 +104,7 @@ constexpr lik::LikelihoodOptions resolvedEngineOptions(
   if (tuning.blockSize >= 0) o.blockSize = tuning.blockSize;
   if (tuning.cachePropagators >= 0)
     o.cachePropagators = tuning.cachePropagators != 0;
+  o.simd = tuning.simd;
   return o;
 }
 

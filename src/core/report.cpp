@@ -24,7 +24,8 @@ void writeFitReport(std::ostream& os, const FitResult& fit) {
      << fit.gradientEvaluations << " gradient ("
      << gradientModeName(fit.gradientMode) << ')'
      << (fit.converged ? " (converged)" : " (iteration cap reached)") << '\n'
-     << "    wall time = " << std::setprecision(3) << fit.seconds << " s\n";
+     << "    wall time = " << std::setprecision(3) << fit.seconds
+     << " s, simd = " << linalg::simdLevelName(fit.simd) << '\n';
 }
 
 void writeTestReport(std::ostream& os, const PositiveSelectionTest& test,
@@ -73,7 +74,8 @@ void writeSiteFit(std::ostream& os, const SiteModelFitResult& fit) {
     os << "    omega2 = " << fit.params.omega2 << '\n';
   os << "    p0 = " << fit.params.p0 << ", p1 = " << fit.params.p1 << '\n'
      << "    iterations = " << fit.iterations
-     << (fit.converged ? " (converged)" : " (iteration cap reached)") << '\n';
+     << (fit.converged ? " (converged)" : " (iteration cap reached)")
+     << ", simd = " << linalg::simdLevelName(fit.simd) << '\n';
 }
 
 }  // namespace
@@ -200,6 +202,8 @@ void jsonFit(std::ostream& os, const FitResult& fit) {
      << ",\"gradientEvaluations\":" << fit.gradientEvaluations
      << ",\"gradientMode\":";
   jsonString(os, gradientModeName(fit.gradientMode));
+  os << ",\"simd\":";
+  jsonString(os, linalg::simdLevelName(fit.simd));
   os << ",\"converged\":" << (fit.converged ? "true" : "false")
      << ",\"seconds\":";
   jsonNumber(os, fit.seconds);

@@ -153,6 +153,7 @@ SiteModelFitResult SiteModelAnalysis::fit(SiteModel m) {
   out.functionEvaluations = r.functionEvaluations;
   out.gradientEvaluations = r.gradientEvaluations;
   out.gradientMode = mode;
+  out.simd = eval.simdLevel();
   out.converged = r.converged;
   out.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -46,6 +46,8 @@ struct SiteModelFitResult {
   /// Objective evaluations spent inside gradients (see FitResult).
   long gradientEvaluations = 0;
   GradientMode gradientMode = GradientMode::FiniteDiff;
+  /// The SIMD kernel level the evaluator resolved `simd =` to.
+  linalg::SimdLevel simd = linalg::SimdLevel::Scalar;
   bool converged = false;
   double seconds = 0;
 };

@@ -80,6 +80,35 @@ void CodonEigenSystem::transitionMatrix(double t, ReconstructionPath path,
     if (p.data()[k] < 0.0) p.data()[k] = 0.0;
 }
 
+void CodonEigenSystem::transitionMatrix(double t, ReconstructionPath path,
+                                        const linalg::SimdKernels& kern,
+                                        ExpmWorkspace& ws, Matrix& p) const {
+  const std::size_t nn = n();
+  SLIM_REQUIRE(t >= 0, "branch length must be non-negative");
+  SLIM_REQUIRE(p.rows() == nn && p.square(), "output shape mismatch");
+  if (ws.y.rows() != nn) ws.y.resize(nn, nn);
+  if (ws.expDiag.size() != nn) ws.expDiag.assign(nn, 0.0);
+
+  if (path == ReconstructionPath::Syrk) {
+    // Eq. 10 with step 5 fused: P = Pi^{-1/2} (Y Y^T) Pi^{1/2} straight out
+    // of the rank-update loop, clamp included — no ws.z, no mirror pass, no
+    // sandwich pass.
+    for (std::size_t i = 0; i < nn; ++i)
+      ws.expDiag[i] = std::exp(0.5 * eig_.values[i] * t);
+    linalg::scaleCols(eig_.vectors, ws.expDiag.span(), ws.y);
+    kern.syrkSandwich(ws.y.data(), invSqrtPi_.data(), sqrtPi_.data(), p.data(),
+                      nn, nn);
+  } else {
+    // Eq. 9 with step 5 fused into the general product.
+    for (std::size_t i = 0; i < nn; ++i)
+      ws.expDiag[i] = std::exp(eig_.values[i] * t);
+    linalg::scaleCols(eig_.vectors, ws.expDiag.span(), ws.y);
+    kern.gemmNTSandwich(ws.y.data(), eig_.vectors.data(), invSqrtPi_.data(),
+                        sqrtPi_.data(), p.data(), nn, nn, nn,
+                        /*clampNegative=*/true);
+  }
+}
+
 void CodonEigenSystem::derivativeMatrix(double t, Flavor flavor,
                                         ExpmWorkspace& ws, Matrix& dp) const {
   const std::size_t nn = n();
@@ -96,6 +125,23 @@ void CodonEigenSystem::derivativeMatrix(double t, Flavor flavor,
   linalg::scaleSandwich(ws.z, invSqrtPi_, sqrtPi_, dp);
 }
 
+void CodonEigenSystem::derivativeMatrix(double t,
+                                        const linalg::SimdKernels& kern,
+                                        ExpmWorkspace& ws, Matrix& dp) const {
+  const std::size_t nn = n();
+  SLIM_REQUIRE(t >= 0, "branch length must be non-negative");
+  SLIM_REQUIRE(dp.rows() == nn && dp.square(), "output shape mismatch");
+  if (ws.y.rows() != nn) ws.y.resize(nn, nn);
+  if (ws.expDiag.size() != nn) ws.expDiag.assign(nn, 0.0);
+
+  for (std::size_t i = 0; i < nn; ++i)
+    ws.expDiag[i] = eig_.values[i] * std::exp(eig_.values[i] * t);
+  linalg::scaleCols(eig_.vectors, ws.expDiag.span(), ws.y);
+  kern.gemmNTSandwich(ws.y.data(), eig_.vectors.data(), invSqrtPi_.data(),
+                      sqrtPi_.data(), dp.data(), nn, nn, nn,
+                      /*clampNegative=*/false);
+}
+
 void CodonEigenSystem::symmetricPropagator(double t, Flavor flavor,
                                            ExpmWorkspace& ws, Matrix& m) const {
   const std::size_t nn = n();
@@ -105,6 +151,18 @@ void CodonEigenSystem::symmetricPropagator(double t, Flavor flavor,
   makeYhat(t, ws.y);
   // M = Yhat Yhat^T is symmetric; e^{Qt} w = M (Pi w)  (Eq. 12).
   linalg::syrk(flavor, ws.y, m);
+}
+
+void CodonEigenSystem::symmetricPropagator(double t,
+                                           const linalg::SimdKernels& kern,
+                                           ExpmWorkspace& ws,
+                                           Matrix& m) const {
+  const std::size_t nn = n();
+  SLIM_REQUIRE(t >= 0, "branch length must be non-negative");
+  SLIM_REQUIRE(m.rows() == nn && m.square(), "output shape mismatch");
+  if (ws.y.rows() != nn) ws.y.resize(nn, nn);
+  makeYhat(t, ws.y);
+  linalg::syrk(kern, ws.y, m);
 }
 
 void CodonEigenSystem::makeYhat(double t, Matrix& yhat) const {
@@ -161,6 +219,24 @@ void applyFactoredPanel(const Matrix& yhat, std::span<const double> pi,
   linalg::scaleCols(w, pi, piW);
   linalg::gemm(flavor, piW, yhat.view(), u);
   linalg::gemmNT(flavor, u, yhat.view(), out);
+  for (std::size_t k = 0; k < out.size(); ++k)
+    if (out.data()[k] < 0.0) out.data()[k] = 0.0;
+}
+
+void applyFactoredPanel(const Matrix& yhat, std::span<const double> pi,
+                        linalg::ConstMatrixView w,
+                        const linalg::SimdKernels& kern,
+                        linalg::MatrixView piW, linalg::MatrixView u,
+                        linalg::MatrixView out) {
+  const std::size_t nn = yhat.rows();
+  SLIM_REQUIRE(yhat.square() && w.cols() == nn, "applyFactoredPanel: shapes");
+  SLIM_REQUIRE(piW.rows() == w.rows() && piW.cols() == nn &&
+                   u.rows() == w.rows() && u.cols() == nn &&
+                   out.rows() == w.rows() && out.cols() == nn,
+               "applyFactoredPanel: workspace shapes");
+  linalg::scaleCols(w, pi, piW);
+  linalg::gemm(kern, piW, yhat.view(), u);
+  linalg::gemmNT(kern, u, yhat.view(), out);
   for (std::size_t k = 0; k < out.size(); ++k)
     if (out.data()[k] < 0.0) out.data()[k] = 0.0;
 }

@@ -69,6 +69,16 @@ class CodonEigenSystem {
                         linalg::Flavor flavor, ExpmWorkspace& ws,
                         linalg::Matrix& p) const;
 
+  /// SIMD-dispatched reconstruction with the Pi^{-1/2}/Pi^{1/2} sandwich
+  /// (and the roundoff clamp) fused into the rank-update loop, so the two
+  /// n x n post-passes of the Flavor path disappear.  With the scalar
+  /// kernel table the result is bit-identical to
+  /// transitionMatrix(..., Flavor::Opt, ...); AVX tables agree to
+  /// floating-point reassociation.
+  void transitionMatrix(double t, ReconstructionPath path,
+                        const linalg::SimdKernels& kern, ExpmWorkspace& ws,
+                        linalg::Matrix& p) const;
+
   /// Fill dp with dP(t)/dt = Q e^{Qt}, the branch-length derivative of the
   /// propagator, via the same eigendecomposition:
   ///   dP/dt = Pi^{-1/2} X (Lambda e^{Lambda t}) X^T Pi^{1/2},
@@ -81,10 +91,19 @@ class CodonEigenSystem {
   void derivativeMatrix(double t, linalg::Flavor flavor, ExpmWorkspace& ws,
                         linalg::Matrix& dp) const;
 
+  /// SIMD-dispatched dP/dt with the sandwich fused (no clamp — derivatives
+  /// legitimately carry negative entries).
+  void derivativeMatrix(double t, const linalg::SimdKernels& kern,
+                        ExpmWorkspace& ws, linalg::Matrix& dp) const;
+
   /// Eq. 12-13: fill m with the *symmetric* propagator M = Yhat Yhat^T such
   /// that e^{Qt} w = M (Pi w).  Use with linalg::symv.
   void symmetricPropagator(double t, linalg::Flavor flavor, ExpmWorkspace& ws,
                            linalg::Matrix& m) const;
+
+  /// SIMD-dispatched form of the Eq. 12 symmetric propagator build.
+  void symmetricPropagator(double t, const linalg::SimdKernels& kern,
+                           ExpmWorkspace& ws, linalg::Matrix& m) const;
 
   /// Fill yhat with Yhat = Pi^{-1/2} X e^{Lambda t/2} (n x n), the factor of
   /// the apply path: e^{Qt} W = Yhat (Yhat^T (Pi W)).
@@ -111,5 +130,13 @@ void applyFactoredPanel(const linalg::Matrix& yhat, std::span<const double> pi,
                         linalg::ConstMatrixView w, linalg::Flavor flavor,
                         linalg::MatrixView piW, linalg::MatrixView u,
                         linalg::MatrixView out);
+
+/// SIMD-dispatched form: the two rectangular gemms run on the selected
+/// kernel table (bit-identical to the Flavor::Opt form under the scalar
+/// table).
+void applyFactoredPanel(const linalg::Matrix& yhat, std::span<const double> pi,
+                        linalg::ConstMatrixView w,
+                        const linalg::SimdKernels& kern, linalg::MatrixView piW,
+                        linalg::MatrixView u, linalg::MatrixView out);
 
 }  // namespace slim::expm

@@ -48,6 +48,13 @@ BranchSiteLikelihood::BranchSiteLikelihood(
   SLIM_REQUIRE(options_.cacheQuantum >= 0, "cacheQuantum must be >= 0");
   SLIM_REQUIRE(options_.cacheCapacity > 0, "cacheCapacity must be positive");
 
+  // Resolve the SIMD dispatch once; an explicit avx2/avx512 request on a
+  // host that cannot run it fails loudly here rather than mid-evaluation.
+  simdLevel_ = options_.flavor == linalg::Flavor::Naive
+                   ? linalg::SimdLevel::Scalar
+                   : linalg::resolveSimdLevel(options_.simd);
+  kern_ = &linalg::simdKernels(simdLevel_);
+
   branchNodes_ = tree_.branches();
   nodeToBranch_.assign(tree_.numNodes(), -1);
   for (int k = 0; k < static_cast<int>(branchNodes_.size()); ++k)
@@ -97,13 +104,61 @@ void BranchSiteLikelihood::setAllBranchLengths(double t) {
   for (int k = 0; k < numBranches(); ++k) setBranchLength(k, t);
 }
 
+// The dispatched* helpers route the Opt flavor's O(n^3) builds and panel
+// products through the SIMD table (the scalar table is the Flavor::Opt
+// code, so resolved-scalar keeps the legacy call path — bit-identical and
+// without the fused kernel's clamp on a path that gains nothing) while the
+// Naive flavor always keeps the paper's baseline loop nests.
+
+void BranchSiteLikelihood::dispatchedTransition(
+    const expm::CodonEigenSystem& es, double t, Matrix& out) {
+  if (useSimdKernels())
+    es.transitionMatrix(t, options_.reconstruction, *kern_, expmWs_, out);
+  else
+    es.transitionMatrix(t, options_.reconstruction, options_.flavor, expmWs_,
+                        out);
+}
+
+void BranchSiteLikelihood::dispatchedDerivative(
+    const expm::CodonEigenSystem& es, double t, Matrix& dp) {
+  if (useSimdKernels())
+    es.derivativeMatrix(t, *kern_, expmWs_, dp);
+  else
+    es.derivativeMatrix(t, options_.flavor, expmWs_, dp);
+}
+
+void BranchSiteLikelihood::dispatchedSymmetric(const expm::CodonEigenSystem& es,
+                                               double t, Matrix& out) {
+  if (useSimdKernels())
+    es.symmetricPropagator(t, *kern_, expmWs_, out);
+  else
+    es.symmetricPropagator(t, options_.flavor, expmWs_, out);
+}
+
+void BranchSiteLikelihood::dispatchedGemm(ConstMatrixView a, ConstMatrixView b,
+                                          MatrixView c) {
+  if (useSimdKernels())
+    linalg::gemm(*kern_, a, b, c);
+  else
+    linalg::gemm(options_.flavor, a, b, c);
+}
+
+void BranchSiteLikelihood::dispatchedFactoredPanel(const Matrix& yhat,
+                                                   ConstMatrixView w,
+                                                   MatrixView piW, MatrixView u,
+                                                   MatrixView out) {
+  if (useSimdKernels())
+    expm::applyFactoredPanel(yhat, pi_, w, *kern_, piW, u, out);
+  else
+    expm::applyFactoredPanel(yhat, pi_, w, options_.flavor, piW, u, out);
+}
+
 void BranchSiteLikelihood::buildPropagator(const expm::CodonEigenSystem& es,
                                            double t, Matrix& out) {
   if (out.rows() != static_cast<std::size_t>(n_)) out.resize(n_, n_);
   switch (options_.propagation) {
     case PropagationStrategy::PerSiteGemv:
-      es.transitionMatrix(t, options_.reconstruction, options_.flavor,
-                          expmWs_, out);
+      dispatchedTransition(es, t, out);
       break;
     case PropagationStrategy::BundledGemm:
       // Stored *transposed*: the panel product W P^T then runs as the
@@ -113,12 +168,11 @@ void BranchSiteLikelihood::buildPropagator(const expm::CodonEigenSystem& es,
       // per build and amortized over every pattern (and every cache hit).
       if (transposeScratch_.rows() != static_cast<std::size_t>(n_))
         transposeScratch_.resize(n_, n_);
-      es.transitionMatrix(t, options_.reconstruction, options_.flavor,
-                          expmWs_, transposeScratch_);
+      dispatchedTransition(es, t, transposeScratch_);
       linalg::transposeInto(transposeScratch_, out);
       break;
     case PropagationStrategy::SymmetricSymv:
-      es.symmetricPropagator(t, options_.flavor, expmWs_, out);
+      dispatchedSymmetric(es, t, out);
       break;
     case PropagationStrategy::FactoredApply:
       es.makeYhat(t, out);
@@ -189,8 +243,9 @@ void BranchSiteLikelihood::propagateBranch(const Matrix& prop,
     }
     case PropagationStrategy::BundledGemm: {
       // prop holds P^T, so out(h,i) = sum_j childCpv(h,j) P^T(j,i)
-      //  ==  (P w_h)_i for every h — one BLAS-3 panel product per branch.
-      linalg::gemm(flavor, childCpv, prop.view(), out);
+      //  ==  (P w_h)_i for every h — one BLAS-3 panel product per branch,
+      // on the SIMD-dispatched saxpy gemm under the Opt flavor.
+      dispatchedGemm(childCpv, prop.view(), out);
       break;
     }
     case PropagationStrategy::SymmetricSymv: {
@@ -207,9 +262,8 @@ void BranchSiteLikelihood::propagateBranch(const Matrix& prop,
     }
     case PropagationStrategy::FactoredApply: {
       // out = ((W Pi) Yhat) Yhat^T, two rectangular gemms, no n x n product.
-      expm::applyFactoredPanel(prop, pi_, childCpv, flavor,
-                               ws.applyPiW.rowBlock(0, rows),
-                               ws.applyU.rowBlock(0, rows), out);
+      dispatchedFactoredPanel(prop, childCpv, ws.applyPiW.rowBlock(0, rows),
+                              ws.applyU.rowBlock(0, rows), out);
       break;
     }
   }
@@ -538,14 +592,13 @@ void BranchSiteLikelihood::buildGradientPropagators() {
         p = *stored;
         linalg::transposeInto(p, pT);
       } else {
-        es.transitionMatrix(t, options_.reconstruction, options_.flavor,
-                            expmWs_, p);
+        dispatchedTransition(es, t, p);
         linalg::transposeInto(p, pT);
         ++counters_.propagatorBuilds;
       }
       Matrix& dT = gradDerivT_[slot];
       if (dT.rows() != static_cast<std::size_t>(n_)) dT.resize(n_, n_);
-      es.derivativeMatrix(t, options_.flavor, expmWs_, dp);
+      dispatchedDerivative(es, t, dp);
       linalg::transposeInto(dp, dT);
       ++counters_.propagatorBuilds;
     }
@@ -569,7 +622,8 @@ void BranchSiteLikelihood::gradientClassBlock(
     ws.deriv.resize(blockMax_, n_);
   }
 
-  const auto flavor = options_.flavor;
+  // The gradient sweep's panel products run on the same SIMD dispatch as
+  // the likelihood sweep's BundledGemm path.
   const int root = tree_.root();
   const auto& cls = activeClasses_[m];
   const auto omegaOf = [&](int node) {
@@ -608,8 +662,8 @@ void BranchSiteLikelihood::gradientClassBlock(
       if (prodStore.rows() != static_cast<std::size_t>(blockMax_))
         prodStore.resize(blockMax_, n_);
       const MatrixView prod = prodStore.rowBlock(0, len);
-      linalg::gemm(flavor, childPanel(c),
-                   gradPropT_[propIndex(c, omegaOf(c))].view(), prod);
+      dispatchedGemm(childPanel(c), gradPropT_[propIndex(c, omegaOf(c))].view(),
+                prod);
       linalg::hadamardInPlace(ConstMatrixView(prod).span(), d.span());
       for (int h = 0; h < len; ++h) scale[h] += ws.sDown[c][h];
       ws.patternPropagations += len;
@@ -667,7 +721,7 @@ void BranchSiteLikelihood::gradientClassBlock(
 
       const std::size_t slot = propIndex(c, omegaOf(c));
       const MatrixView deriv = ws.deriv.rowBlock(0, len);
-      linalg::gemm(flavor, childPanel(c), gradDerivT_[slot].view(), deriv);
+      dispatchedGemm(childPanel(c), gradDerivT_[slot].view(), deriv);
       ws.patternPropagations += len;
 
       const int k = nodeToBranch_[c];
@@ -689,7 +743,7 @@ void BranchSiteLikelihood::gradientClassBlock(
         if (upC.rows() != static_cast<std::size_t>(blockMax_))
           upC.resize(blockMax_, n_);
         const MatrixView uc = upC.rowBlock(0, len);
-        linalg::gemm(flavor, ConstMatrixView(o), gradProp_[slot].view(), uc);
+        dispatchedGemm(ConstMatrixView(o), gradProp_[slot].view(), uc);
         ws.patternPropagations += len;
         auto& us = ws.uScale[c];
         us.assign(len, 0.0);

@@ -163,6 +163,9 @@ class BranchSiteLikelihood {
   int numThreads() const noexcept {
     return pool_ ? pool_->numThreads() : 1;
   }
+  /// The SIMD level options().simd resolved to at construction (Scalar when
+  /// the flavor is Naive — the baseline loop nests are never vectorized).
+  linalg::SimdLevel simdLevel() const noexcept { return simdLevel_; }
   /// Entries currently held by the persistent propagator cache.
   std::size_t cachedPropagators() const noexcept {
     return shard_ ? shard_->entries.size() : 0;
@@ -250,6 +253,22 @@ class BranchSiteLikelihood {
   void buildPropagator(const expm::CodonEigenSystem& es, double t,
                        linalg::Matrix& out);
 
+  // SIMD-or-flavor dispatch, kept in one place so every routed call site
+  // follows the same rule (kern_ for Opt above scalar, legacy flavor path
+  // otherwise — see useSimdKernels()).
+  void dispatchedTransition(const expm::CodonEigenSystem& es, double t,
+                            linalg::Matrix& out);
+  void dispatchedDerivative(const expm::CodonEigenSystem& es, double t,
+                            linalg::Matrix& dp);
+  void dispatchedSymmetric(const expm::CodonEigenSystem& es, double t,
+                           linalg::Matrix& out);
+  void dispatchedGemm(linalg::ConstMatrixView a, linalg::ConstMatrixView b,
+                      linalg::MatrixView c);
+  void dispatchedFactoredPanel(const linalg::Matrix& yhat,
+                               linalg::ConstMatrixView w,
+                               linalg::MatrixView piW, linalg::MatrixView u,
+                               linalg::MatrixView out);
+
   // Propagate a panel of child CPVs through one branch (strategy dispatch).
   void propagateBranch(const linalg::Matrix& prop,
                        linalg::ConstMatrixView childCpv, linalg::MatrixView out,
@@ -265,6 +284,23 @@ class BranchSiteLikelihood {
   tree::Tree tree_;
   model::Hypothesis hypothesis_;
   LikelihoodOptions options_;
+
+  // SIMD dispatch, resolved once at construction.  kern_ is the selected
+  // function-pointer table; the scalar table is the same code Flavor::Opt
+  // runs, so routing through it never changes results.  Naive flavor keeps
+  // its own loop nests (kern_ unused on that path).
+  linalg::SimdLevel simdLevel_ = linalg::SimdLevel::Scalar;
+  const linalg::SimdKernels* kern_ = nullptr;
+
+  // True when the hot paths should go through kern_.  The resolved-scalar
+  // case keeps the original Flavor::Opt call path instead — bit-identical
+  // either way (the scalar table is that code), but the legacy unfused
+  // reconstruction sequence avoids the fused kernel's per-element clamp on
+  // a path that gains nothing from dispatch.
+  bool useSimdKernels() const noexcept {
+    return options_.flavor == linalg::Flavor::Opt &&
+           simdLevel_ != linalg::SimdLevel::Scalar;
+  }
 
   int n_ = 0;             // codon states (61)
   int npat_ = 0;          // site patterns

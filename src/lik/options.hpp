@@ -7,6 +7,7 @@
 
 #include "expm/codon_eigen_system.hpp"
 #include "linalg/kernels.hpp"
+#include "linalg/simd.hpp"
 
 namespace slim::lik {
 
@@ -76,6 +77,16 @@ struct LikelihoodOptions {
   /// Cached propagator count at which the cache is flushed (each entry is an
   /// n x n matrix, ~30 KB for n = 61).
   int cacheCapacity = 2048;
+
+  /// SIMD kernel selection for the Flavor::Opt hot paths (panel gemms and
+  /// the fused-sandwich eigen-reconstruction).  Auto picks the widest level
+  /// compiled in and supported by the CPU; an explicit avx2/avx512 request
+  /// fails evaluator construction when unavailable.  Ignored (forced
+  /// scalar) under Flavor::Naive, whose loop nests are the paper's CodeML
+  /// baseline.  Each level is bit-identical to itself across thread counts
+  /// and block sizes; scalar is the bit-exact reference and AVX levels
+  /// agree with it to <= 1e-10 relative on lnL.
+  linalg::SimdMode simd = linalg::SimdMode::Auto;
 };
 
 /// The CodeML v4.4c stand-in: hand-rolled loop kernels, Eq. 9 reconstruction,

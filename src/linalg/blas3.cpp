@@ -18,32 +18,13 @@ void gemmNaive(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
     }
 }
 
-// Optimized gemm: i-k-j (saxpy) form. Every inner loop streams a contiguous
-// row of B and of C, which GCC vectorizes with FMA; a small k-unroll reuses
-// the C row from registers/L1 across four B rows.
-void gemmOpt(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    double* SLIM_RESTRICT crow = c.row(i);
-    for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0;
-    const double* SLIM_RESTRICT arow = a.row(i);
-    std::size_t k = 0;
-    for (; k + 4 <= kk; k += 4) {
-      const double a0 = arow[k], a1 = arow[k + 1], a2 = arow[k + 2],
-                   a3 = arow[k + 3];
-      const double* SLIM_RESTRICT b0 = b.row(k);
-      const double* SLIM_RESTRICT b1 = b.row(k + 1);
-      const double* SLIM_RESTRICT b2 = b.row(k + 2);
-      const double* SLIM_RESTRICT b3 = b.row(k + 3);
-      for (std::size_t j = 0; j < n; ++j)
-        crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-    }
-    for (; k < kk; ++k) {
-      const double ak = arow[k];
-      const double* SLIM_RESTRICT brow = b.row(k);
-      for (std::size_t j = 0; j < n; ++j) crow[j] += ak * brow[j];
-    }
-  }
+// The scalar SIMD table holds the optimized (saxpy gemm / dot gemmNT /
+// mirrored syrk) loop nests on raw pointers; the Flavor::Opt overloads
+// delegate to it so the "opt kernel" and the simd = scalar reference are
+// one implementation, bit for bit.
+const SimdKernels& scalarKernels() {
+  static const SimdKernels& k = simdKernels(SimdLevel::Scalar);
+  return k;
 }
 
 // Naive A * B^T: dot products of rows; access is contiguous but unassisted.
@@ -57,33 +38,6 @@ void gemmNTNaive(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
     }
 }
 
-// Optimized A * B^T: unrolled multi-accumulator dot products over contiguous
-// rows of both operands.  For large pattern panels the saxpy-form gemm
-// against a pre-transposed B is substantially faster (it vectorizes as
-// streaming FMAs instead of horizontal reductions); the likelihood engine
-// therefore stores BundledGemm propagators transposed and calls gemm.
-void gemmNTOpt(ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  const std::size_t m = a.rows(), kk = a.cols(), n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* SLIM_RESTRICT arow = a.row(i);
-    double* SLIM_RESTRICT crow = c.row(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* SLIM_RESTRICT brow = b.row(j);
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      std::size_t k = 0;
-      for (; k + 4 <= kk; k += 4) {
-        s0 += arow[k] * brow[k];
-        s1 += arow[k + 1] * brow[k + 1];
-        s2 += arow[k + 2] * brow[k + 2];
-        s3 += arow[k + 3] * brow[k + 3];
-      }
-      double t = (s0 + s1) + (s2 + s3);
-      for (; k < kk; ++k) t += arow[k] * brow[k];
-      crow[j] = t;
-    }
-  }
-}
-
 }  // namespace
 
 void gemm(Flavor flavor, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
@@ -95,7 +49,8 @@ void gemm(Flavor flavor, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
   if (flavor == Flavor::Naive)
     gemmNaive(a, b, c);
   else
-    gemmOpt(a, b, c);
+    scalarKernels().gemm(a.data(), b.data(), c.data(), a.rows(), a.cols(),
+                         b.cols());
 }
 
 void gemm(Flavor flavor, const Matrix& a, const Matrix& b, Matrix& c) {
@@ -112,7 +67,12 @@ void gemmNT(Flavor flavor, ConstMatrixView a, ConstMatrixView b,
   if (flavor == Flavor::Naive)
     gemmNTNaive(a, b, c);
   else
-    gemmNTOpt(a, b, c);
+    // Optimized A * B^T: multi-accumulator dot products over contiguous
+    // rows.  For large pattern panels the saxpy-form gemm against a
+    // pre-transposed B is substantially faster; the likelihood engine
+    // therefore stores BundledGemm propagators transposed and calls gemm.
+    scalarKernels().gemmNT(a.data(), b.data(), c.data(), a.rows(), a.cols(),
+                           b.rows());
 }
 
 void gemmNT(Flavor flavor, const Matrix& a, const Matrix& b, Matrix& c) {
@@ -128,28 +88,35 @@ void syrk(Flavor flavor, const Matrix& y, Matrix& c) {
     gemmNTNaive(y.view(), y.view(), c.view());
     return;
   }
-  // Upper triangle only (n^2 k flops), then mirror.
-  const std::size_t n = y.rows(), kk = y.cols();
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* SLIM_RESTRICT yi = y.row(i);
-    double* SLIM_RESTRICT crow = c.row(i);
-    for (std::size_t j = i; j < n; ++j) {
-      const double* SLIM_RESTRICT yj = y.row(j);
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      std::size_t k = 0;
-      for (; k + 4 <= kk; k += 4) {
-        s0 += yi[k] * yj[k];
-        s1 += yi[k + 1] * yj[k + 1];
-        s2 += yi[k + 2] * yj[k + 2];
-        s3 += yi[k + 3] * yj[k + 3];
-      }
-      double t = (s0 + s1) + (s2 + s3);
-      for (; k < kk; ++k) t += yi[k] * yj[k];
-      crow[j] = t;
-    }
-  }
-  for (std::size_t i = 1; i < n; ++i)
-    for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  // Upper triangle only (n^2 k flops), then mirror — the dsyrk trick.
+  scalarKernels().syrk(y.data(), c.data(), y.rows(), y.cols());
+}
+
+void gemm(const SimdKernels& kern, ConstMatrixView a, ConstMatrixView b,
+          MatrixView c) {
+  SLIM_REQUIRE(a.cols() == b.rows(), "gemm: inner dimension mismatch");
+  SLIM_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+               "gemm: output shape mismatch");
+  SLIM_REQUIRE(c.data() != a.data() && c.data() != b.data(),
+               "gemm: output must not alias inputs");
+  kern.gemm(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.cols());
+}
+
+void gemmNT(const SimdKernels& kern, ConstMatrixView a, ConstMatrixView b,
+            MatrixView c) {
+  SLIM_REQUIRE(a.cols() == b.cols(), "gemmNT: inner dimension mismatch");
+  SLIM_REQUIRE(c.rows() == a.rows() && c.cols() == b.rows(),
+               "gemmNT: output shape mismatch");
+  SLIM_REQUIRE(c.data() != a.data() && c.data() != b.data(),
+               "gemmNT: output must not alias inputs");
+  kern.gemmNT(a.data(), b.data(), c.data(), a.rows(), a.cols(), b.rows());
+}
+
+void syrk(const SimdKernels& kern, const Matrix& y, Matrix& c) {
+  SLIM_REQUIRE(c.rows() == y.rows() && c.cols() == y.rows(),
+               "syrk: output shape mismatch");
+  SLIM_REQUIRE(&c != &y, "syrk: output must not alias input");
+  kern.syrk(y.data(), c.data(), y.rows(), y.cols());
 }
 
 }  // namespace slim::linalg

@@ -8,6 +8,7 @@
 
 #include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/simd.hpp"
 
 namespace slim::linalg {
 
@@ -32,5 +33,17 @@ void gemmNT(Flavor flavor, ConstMatrixView a, ConstMatrixView b, MatrixView c);
 /// The Naive flavor runs the full gemmNT(A=Y, B=Y) loop nest, i.e. what a
 /// code base without a symmetric kernel would do.
 void syrk(Flavor flavor, const Matrix& y, Matrix& c);
+
+// --- SIMD-dispatched forms ----------------------------------------------
+// Same shapes and checks as the Flavor overloads, routed through a
+// runtime-selected kernel table (linalg/simd.hpp).  With the scalar table
+// these are bit-identical to the Flavor::Opt overloads (same machine code);
+// AVX tables agree to floating-point reassociation.
+
+void gemm(const SimdKernels& kern, ConstMatrixView a, ConstMatrixView b,
+          MatrixView c);
+void gemmNT(const SimdKernels& kern, ConstMatrixView a, ConstMatrixView b,
+            MatrixView c);
+void syrk(const SimdKernels& kern, const Matrix& y, Matrix& c);
 
 }  // namespace slim::linalg

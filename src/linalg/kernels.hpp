@@ -15,10 +15,12 @@
 // Every kernel produces identical results up to floating-point reassociation;
 // tests assert agreement to tight tolerances.
 
+#ifndef SLIM_RESTRICT
 #if defined(__GNUC__) || defined(__clang__)
 #define SLIM_RESTRICT __restrict__
 #else
 #define SLIM_RESTRICT
+#endif
 #endif
 
 namespace slim::linalg {

@@ -1,0 +1,127 @@
+#pragma once
+// Runtime-dispatched SIMD kernel layer (AVX2 / AVX-512) behind Flavor::Opt.
+//
+// The scalar Opt kernels in blas3.cpp are compiled for the generic target
+// (SSE2 on x86-64), so the vectorizer leaves half the machine idle on any
+// AVX-capable host.  This layer provides hand-vectorized variants of the
+// three hot likelihood panels — the saxpy-form panel gemm, the dot-form
+// gemmNT/syrk, and the eigen-reconstruction with the Pi^{-1/2}/Pi^{1/2}
+// sandwich *fused* into the rank-update loop — selected once at evaluator
+// construction through a cpuid-checked function-pointer table.
+//
+// Contract (asserted by tests/simd_kernel_test.cpp):
+//   * SimdLevel::Scalar is the bit-exact reference: its table entries are
+//     the same code the Flavor::Opt kernels run, and the fused scalar
+//     reconstruction reproduces the unfused syrk + scaleSandwich + clamp
+//     sequence bit for bit.
+//   * Every SIMD level is deterministic per row of output — results are
+//     bit-identical across thread counts and pattern-block sizes — and
+//     agrees with scalar to <= 1e-10 relative on the log-likelihood.
+//
+// This header is intentionally lean (no inline function bodies beyond the
+// POD struct): it is included by translation units compiled with wider ISA
+// flags, and keeping all code out-of-line prevents the linker from ever
+// picking an AVX-compiled copy of a shared inline function for generic code.
+
+#include <cstddef>
+#include <string_view>
+
+// Same definition as linalg/kernels.hpp (identical token sequence, so both
+// headers can appear in one TU); repeated here so the ISA-flagged kernel
+// TUs need no other project header.
+#ifndef SLIM_RESTRICT
+#if defined(__GNUC__) || defined(__clang__)
+#define SLIM_RESTRICT __restrict__
+#else
+#define SLIM_RESTRICT
+#endif
+#endif
+
+namespace slim::linalg {
+
+/// What the user asked for (`simd =` ctl key / LikelihoodOptions::simd).
+enum class SimdMode {
+  Auto,    ///< Best level compiled in AND supported by this CPU.
+  Scalar,  ///< Force the scalar reference kernels.
+  Avx2,    ///< Require AVX2+FMA; evaluator construction fails if unavailable.
+  Avx512,  ///< Require AVX-512 F/DQ/VL; fails if unavailable.
+};
+
+/// What the dispatch actually selected (recorded in reports).
+enum class SimdLevel {
+  Scalar,
+  Avx2,
+  Avx512,
+};
+
+const char* simdModeName(SimdMode m) noexcept;
+const char* simdLevelName(SimdLevel l) noexcept;
+
+/// Parse a ctl-file value ("auto", "scalar", "avx2", "avx512").  Returns
+/// false on unknown text (out untouched).
+bool parseSimdMode(std::string_view text, SimdMode& out) noexcept;
+
+/// One ISA's kernel set.  All matrices are dense row-major and contiguous
+/// (leading dimension == column count), the layout every panel and
+/// propagator in the engine uses.  Row i of each output depends only on the
+/// operands' row i (gemm/gemmNT) or on the full inputs in a fixed
+/// accumulation order (syrk), so any row-partition of a call produces
+/// bit-identical results — the property the pattern-blocked engine's
+/// thread-count/block-size invariance rests on.
+struct SimdKernels {
+  const char* name;
+
+  /// c[m x n] := a[m x k] * b[k x n]  (saxpy form, streams rows of b and c).
+  void (*gemm)(const double* a, const double* b, double* c, std::size_t m,
+               std::size_t k, std::size_t n);
+
+  /// c[m x n] := a[m x k] * b[n x k]^T  (dot form over contiguous rows).
+  void (*gemmNT)(const double* a, const double* b, double* c, std::size_t m,
+                 std::size_t k, std::size_t n);
+
+  /// c[n x n] := y[n x k] * y^T, upper triangle computed once and mirrored.
+  void (*syrk)(const double* y, double* c, std::size_t n, std::size_t k);
+
+  /// Fused Eq. 10 reconstruction: p := diag(l) (Y Y^T) diag(r) with
+  /// roundoff negatives clamped to 0, the Pi sandwich and clamp folded into
+  /// the rank-update loop (each dot is written twice, pre-scaled, instead
+  /// of mirror + two O(n^2) scaling passes).  l = Pi^{-1/2}, r = Pi^{1/2}.
+  void (*syrkSandwich)(const double* y, const double* l, const double* r,
+                       double* p, std::size_t n, std::size_t k);
+
+  /// Fused Eq. 9 form: c[m x n] := diag(l) (A B^T) diag(r); clampNegative
+  /// selects the P(t) policy (on) or the dP/dt policy (off — derivatives
+  /// legitimately carry negative entries).
+  void (*gemmNTSandwich)(const double* a, const double* b, const double* l,
+                         const double* r, double* c, std::size_t m,
+                         std::size_t k, std::size_t n, bool clampNegative);
+};
+
+/// Whether this binary contains kernels for the level (compile-time gate:
+/// x86-64 target and a compiler accepting the ISA flags).
+bool simdLevelCompiled(SimdLevel level) noexcept;
+
+/// Compiled in AND supported by the running CPU.
+bool simdLevelAvailable(SimdLevel level) noexcept;
+
+/// Best available level (what SimdMode::Auto resolves to).
+SimdLevel detectSimdLevel() noexcept;
+
+/// Resolve a requested mode.  Auto picks detectSimdLevel(); an explicit
+/// level throws std::invalid_argument when the binary or CPU cannot run it
+/// (so a ctl file demanding avx512 fails loudly instead of silently
+/// downgrading).
+SimdLevel resolveSimdLevel(SimdMode mode);
+
+/// The kernel table for a level; level must be available.
+const SimdKernels& simdKernels(SimdLevel level);
+
+namespace detail {
+/// Implemented by kernels_avx2.cpp / kernels_avx512.cpp (the only TUs built
+/// with wider ISA flags); each returns nullptr when its ISA was not
+/// compiled in (non-x86 target or compiler without the flags).
+const SimdKernels* avx2KernelTable() noexcept;
+const SimdKernels* avx512KernelTable() noexcept;
+}  // namespace detail
+
+}  // namespace slim::linalg

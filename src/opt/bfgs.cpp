@@ -15,6 +15,12 @@ double infNorm(std::span<const double> v) noexcept {
   return m;
 }
 
+bool allFinite(std::span<const double> v) noexcept {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
 }  // namespace
 
 BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
@@ -26,6 +32,12 @@ BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
   res.x.assign(x0.begin(), x0.end());
   res.value = f.value(res.x);
   ++res.functionEvaluations;
+  // The *initial* point must be feasible — same contract as Nelder-Mead.
+  // Everywhere past this line a non-finite value is survivable: NaN/inf
+  // line-search trials are failed steps that backtrack, and a non-finite
+  // gradient (an FD probe stepping off a bound into NaN territory) ends the
+  // optimization cleanly at the last accepted point instead of corrupting
+  // the Hessian or spuriously reporting convergence.
   SLIM_REQUIRE(std::isfinite(res.value),
                "BFGS: objective not finite at the starting point");
 
@@ -47,6 +59,10 @@ BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
     res.analyticCoordinates = gr.analyticCoordinates;
   };
   gradientAt(res.x, res.value, grad);
+  if (!allFinite(grad)) {
+    res.message = "gradient not finite at the starting point";
+    return res;
+  }
 
   int slowProgress = 0;
   for (res.iterations = 0; res.iterations < options.maxIterations;
@@ -97,6 +113,16 @@ BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
     }
 
     gradientAt(xNew, fNew, gradNew);
+    if (!allFinite(gradNew)) {
+      // Keep the accepted step — it genuinely improved the objective — but
+      // stop here: a NaN gradient would poison the BFGS update and every
+      // later iterate.
+      res.x = xNew;
+      res.value = fNew;
+      ++res.iterations;
+      res.message = "stopped: gradient not finite (objective NaN at a probe)";
+      return res;
+    }
 
     // BFGS inverse update with curvature safeguard.
     double sy = 0.0, ss = 0.0, yy = 0.0;

@@ -95,6 +95,60 @@ TEST(ConfigParse, Errors) {
                std::invalid_argument);
 }
 
+TEST(ConfigParse, SimdModes) {
+  const char* base = "seqfile = s\ntreefile = t\nsimd = ";
+  EXPECT_EQ(Config::parseString(std::string(base) + "auto\n").fit.tuning.simd,
+            linalg::SimdMode::Auto);
+  EXPECT_EQ(
+      Config::parseString(std::string(base) + "scalar\n").fit.tuning.simd,
+      linalg::SimdMode::Scalar);
+  EXPECT_EQ(Config::parseString(std::string(base) + "avx2\n").fit.tuning.simd,
+            linalg::SimdMode::Avx2);
+  EXPECT_EQ(
+      Config::parseString(std::string(base) + "avx512\n").fit.tuning.simd,
+      linalg::SimdMode::Avx512);
+  EXPECT_THROW(Config::parseString(std::string(base) + "sse2\n"), ConfigError);
+  // Default when the key is absent.
+  EXPECT_EQ(Config::parseString("seqfile = s\ntreefile = t\n").fit.tuning.simd,
+            linalg::SimdMode::Auto);
+}
+
+// Malformed or overflowing numerics must surface as a ConfigError naming
+// the key and the line — never as a bare std::out_of_range from std::stod
+// or as undefined behaviour in a narrowing cast.
+TEST(ConfigParse, NumericFuzzRejectsHostileValues) {
+  const auto expectKeyedError = [](const std::string& line,
+                                   const std::string& key) {
+    const std::string text = "seqfile = s\ntreefile = t\n" + line + "\n";
+    try {
+      Config::parseString(text);
+      FAIL() << "expected ConfigError for: " << line;
+    } catch (const ConfigError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+      EXPECT_NE(what.find("'" + key + "'"), std::string::npos) << what;
+    }
+  };
+  expectKeyedError("kappa = 1e999", "kappa");          // double overflow
+  expectKeyedError("kappa = -1e999", "kappa");         // negative overflow
+  expectKeyedError("kappa = nan", "kappa");            // stod parses, reject
+  expectKeyedError("kappa = inf", "kappa");            // stod parses, reject
+  expectKeyedError("kappa = 1.2.3", "kappa");          // trailing garbage
+  expectKeyedError("kappa = --5", "kappa");            // not a number
+  expectKeyedError("omega2 = 2,5", "omega2");          // locale-style comma
+  expectKeyedError("p0 = 0x", "p0");                   // incomplete hex
+  expectKeyedError("maxIterations = 1e12", "maxIterations");  // > int range
+  expectKeyedError("maxIterations = 2.5", "maxIterations");   // fraction
+  expectKeyedError("threads = 1e300", "threads");      // > int range
+  expectKeyedError("seed = -3", "seed");               // negative seed
+  expectKeyedError("seed = 2e19", "seed");             // >= 2^64: UB cast
+  expectKeyedError("seed = 2.5", "seed");              // fractional seed
+  // ConfigError still is-a std::invalid_argument for legacy catch sites.
+  EXPECT_THROW(
+      Config::parseString("seqfile = s\ntreefile = t\nkappa = 1e999\n"),
+      std::invalid_argument);
+}
+
 TEST(ConfigParse, ErrorMentionsLineNumber) {
   try {
     Config::parseString("seqfile = s\ntreefile = t\nbogus = 1\n");

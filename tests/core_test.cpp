@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <string_view>
 
 #include "core/analysis.hpp"
 #include "core/report.hpp"
@@ -183,6 +186,178 @@ TEST(Report, FitReportMentionsConvergenceState) {
   std::ostringstream os;
   writeFitReport(os, fit);
   EXPECT_NE(os.str().find("iterations"), std::string::npos);
+  EXPECT_NE(os.str().find("simd = "), std::string::npos);
+}
+
+// ---------- JSON well-formedness ----------
+
+// Minimal recursive-descent JSON validator: accepts exactly the RFC 8259
+// grammar (objects, arrays, strings with escapes, numbers, true/false/
+// null), rejects everything else.  Enough to prove the reports emit valid
+// JSON even for hostile inputs — no external parser dependency.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : s_(text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value()) return false;
+    skipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skipWs();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!string()) return false;
+      skipWs();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skipWs();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skipWs();
+      if (!value()) return false;
+      skipWs();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const unsigned char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) return false;  // raw control char: invalid JSON
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i)
+            if (pos_ + i >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+              return false;
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    return pos_ > start && std::isdigit(static_cast<unsigned char>(s_[pos_ - 1]));
+  }
+  bool literal(std::string_view want) {
+    if (s_.substr(pos_, want.size()) != want) return false;
+    pos_ += want.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Report, JsonSurvivesHostileStringsRoundTrip) {
+  const auto sc = makeSmallCase();
+  BranchSiteAnalysis analysis(sc.alignment, sc.tree, EngineKind::Slim,
+                              quickOptions(2));
+  const auto test = analysis.run();
+
+  // A gene name with every dangerous class of character: quote, backslash,
+  // newline, tab, and raw control bytes (what a seqfile path or tree label
+  // can drag into the report).
+  const std::string hostile = std::string("ge\"ne\\pa\th\n") + '\x01' +
+                              '\x1f' + "\r\x7f";
+  std::ostringstream os;
+  writeJsonTestReport(os, test, EngineKind::Slim, hostile);
+  const std::string json = os.str();
+
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  // Control characters must appear escaped, never raw.
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+  EXPECT_NE(json.find("\\u000d"), std::string::npos);
+  EXPECT_NE(json.find("\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+  // The resolved SIMD flavor is recorded.
+  EXPECT_NE(json.find("\"simd\":"), std::string::npos);
+
+  // The same reports on a shared stream that a text report left in
+  // std::fixed state (regression guard for stream-format leakage).
+  std::ostringstream mixed;
+  writeTestReport(mixed, test, EngineKind::Slim);
+  writeJsonTestReport(mixed, test, EngineKind::Slim, hostile);
+  const std::string tail = mixed.str();
+  const auto brace = tail.find("{\"engine\"");
+  ASSERT_NE(brace, std::string::npos);
+  EXPECT_TRUE(JsonValidator(std::string_view(tail).substr(brace)).valid());
+}
+
+TEST(Report, JsonBatchReportIsWellFormed) {
+  const auto sc = makeSmallCase();
+  BranchSiteAnalysis analysis(sc.alignment, sc.tree, EngineKind::Slim,
+                              quickOptions(2));
+  const auto test = analysis.run();
+  std::ostringstream os;
+  BatchRunInfo info;
+  info.workers = 2;
+  info.taskLevel = true;
+  info.seconds = 0.5;
+  writeJsonBatchReport(os, {test, test}, {"g\"1", "g\n2"}, EngineKind::Slim,
+                       test.counters, info);
+  EXPECT_TRUE(JsonValidator(os.str()).valid()) << os.str();
 }
 
 }  // namespace

@@ -223,6 +223,40 @@ TEST(Bfgs, ThrowsOnInfeasibleStart) {
                std::invalid_argument);
 }
 
+// An objective that returns NaN beyond a bound (how the likelihood behaves
+// when a trial point walks a parameter off its domain).  Only the *initial*
+// point aborts; NaN line-search trials are failed steps that backtrack —
+// the same contract as Nelder-Mead's sanitize-to-infinity.
+TEST(Bfgs, SurvivesNaNTrialPointsOffABound) {
+  const Objective f = [](std::span<const double> x) -> double {
+    if (x[0] > 1.0) return std::numeric_limits<double>::quiet_NaN();
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  // From 0.5 the descent direction points at the minimum at 3.0, so full
+  // steps repeatedly land in the NaN region and must backtrack.
+  const auto r = minimizeBfgs(f, std::vector<double>{0.5});
+  EXPECT_TRUE(std::isfinite(r.value));
+  EXPECT_LE(r.x[0], 1.0);
+  EXPECT_LT(r.value, (0.5 - 3.0) * (0.5 - 3.0));  // made real progress
+}
+
+// When a *gradient probe* hits the NaN region (start pinned to the bound so
+// the forward-difference step crosses it), BFGS must neither abort nor
+// report convergence off a poisoned gradient: it stops cleanly at the last
+// accepted point with a finite value.
+TEST(Bfgs, NaNGradientProbeStopsCleanly) {
+  const Objective f = [](std::span<const double> x) -> double {
+    if (x[0] > 1.0) return std::numeric_limits<double>::quiet_NaN();
+    return (x[0] - 3.0) * (x[0] - 3.0);
+  };
+  const auto r = minimizeBfgs(f, std::vector<double>{1.0});
+  EXPECT_TRUE(std::isfinite(r.value));
+  EXPECT_DOUBLE_EQ(r.x[0], 1.0);  // start returned unchanged
+  EXPECT_FALSE(r.converged);
+  EXPECT_NE(r.message.find("gradient not finite"), std::string::npos)
+      << r.message;
+}
+
 // ---------- Nelder-Mead ----------
 
 TEST(NelderMead, SolvesConvexQuadratic) {

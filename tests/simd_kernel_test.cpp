@@ -1,0 +1,432 @@
+// Tests for the runtime-dispatched SIMD kernel layer (linalg/simd.hpp).
+//
+// The contract under test:
+//   * the scalar table is the bit-exact reference — identical to the
+//     Flavor::Opt kernels, and its fused-sandwich reconstruction is
+//     bit-identical to the unfused syrk + scaleSandwich + clamp sequence;
+//   * every compiled-and-supported SIMD level agrees with scalar to tight
+//     elementwise tolerances on the kernels and to <= 1e-10 *relative* on
+//     the log-likelihood;
+//   * each level is bit-identical to itself across thread counts and block
+//     sizes (EXPECT_EQ on doubles), because kernel results are invariant
+//     under any row partition of a panel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "expm/codon_eigen_system.hpp"
+#include "lik/branch_site_likelihood.hpp"
+#include "linalg/blas3.hpp"
+#include "linalg/diag.hpp"
+#include "linalg/simd.hpp"
+#include "model/codon_model.hpp"
+#include "seqio/alignment.hpp"
+#include "sim/datasets.hpp"
+#include "sim/rng.hpp"
+#include "test_util.hpp"
+
+namespace slim::linalg {
+namespace {
+
+std::vector<SimdLevel> availableLevels() {
+  std::vector<SimdLevel> out{SimdLevel::Scalar};
+  if (simdLevelAvailable(SimdLevel::Avx2)) out.push_back(SimdLevel::Avx2);
+  if (simdLevelAvailable(SimdLevel::Avx512)) out.push_back(SimdLevel::Avx512);
+  return out;
+}
+
+Matrix randomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t k = 0; k < m.size(); ++k)
+    m.data()[k] = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+std::vector<double> randomPositive(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(0.1, 2.0);
+  return v;
+}
+
+void expectClose(const Matrix& got, const Matrix& want, const char* label) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    const double scale = std::max(1.0, std::fabs(want.data()[k]));
+    EXPECT_NEAR(got.data()[k], want.data()[k], 1e-12 * scale)
+        << label << " element " << k;
+  }
+}
+
+// ---------- raw kernel parity across levels ----------
+
+TEST(SimdKernels, GemmMatchesScalarOnEveryLevel) {
+  // Odd shapes on purpose: 61 exercises the vector tails, 7/13 the short
+  // panel edge cases.
+  constexpr std::tuple<int, int, int> kShapes[] = {
+      {13, 61, 61}, {7, 61, 61}, {1, 61, 61}, {13, 5, 9}, {64, 61, 61}};
+  for (auto [m, k, n] : kShapes) {
+    const Matrix a = randomMatrix(m, k, 17);
+    const Matrix b = randomMatrix(k, n, 23);
+    Matrix want(m, n);
+    simdKernels(SimdLevel::Scalar)
+        .gemm(a.data(), b.data(), want.data(), m, k, n);
+    for (SimdLevel level : availableLevels()) {
+      Matrix got(m, n);
+      simdKernels(level).gemm(a.data(), b.data(), got.data(), m, k, n);
+      expectClose(got, want, simdLevelName(level));
+    }
+  }
+}
+
+TEST(SimdKernels, GemmNTAndSyrkMatchScalarOnEveryLevel) {
+  const int m = 13, k = 61, n = 61;
+  const Matrix a = randomMatrix(m, k, 31);
+  const Matrix b = randomMatrix(n, k, 37);
+  const Matrix y = randomMatrix(n, k, 41);
+  Matrix wantNT(m, n), wantSyrk(n, n);
+  simdKernels(SimdLevel::Scalar)
+      .gemmNT(a.data(), b.data(), wantNT.data(), m, k, n);
+  simdKernels(SimdLevel::Scalar).syrk(y.data(), wantSyrk.data(), n, k);
+  for (SimdLevel level : availableLevels()) {
+    Matrix gotNT(m, n), gotSyrk(n, n);
+    simdKernels(level).gemmNT(a.data(), b.data(), gotNT.data(), m, k, n);
+    simdKernels(level).syrk(y.data(), gotSyrk.data(), n, k);
+    expectClose(gotNT, wantNT, simdLevelName(level));
+    expectClose(gotSyrk, wantSyrk, simdLevelName(level));
+  }
+}
+
+TEST(SimdKernels, FusedSandwichMatchesScalarOnEveryLevel) {
+  const int n = 61;
+  const Matrix y = randomMatrix(n, n, 43);
+  const auto l = randomPositive(n, 47);
+  const auto r = randomPositive(n, 53);
+  Matrix wantSyrk(n, n), wantGemm(n, n);
+  simdKernels(SimdLevel::Scalar)
+      .syrkSandwich(y.data(), l.data(), r.data(), wantSyrk.data(), n, n);
+  simdKernels(SimdLevel::Scalar)
+      .gemmNTSandwich(y.data(), y.data(), l.data(), r.data(), wantGemm.data(),
+                      n, n, n, false);
+  for (SimdLevel level : availableLevels()) {
+    Matrix gotSyrk(n, n), gotGemm(n, n);
+    simdKernels(level).syrkSandwich(y.data(), l.data(), r.data(),
+                                    gotSyrk.data(), n, n);
+    simdKernels(level).gemmNTSandwich(y.data(), y.data(), l.data(), r.data(),
+                                      gotGemm.data(), n, n, n, false);
+    expectClose(gotSyrk, wantSyrk, simdLevelName(level));
+    expectClose(gotGemm, wantGemm, simdLevelName(level));
+  }
+}
+
+// ---------- scalar fusion is bit-exact ----------
+
+TEST(SimdKernels, ScalarFusedSandwichIsBitIdenticalToUnfused) {
+  const int n = 61;
+  const Matrix y = randomMatrix(n, n, 59);
+  const auto l = randomPositive(n, 61);
+  const auto r = randomPositive(n, 67);
+  const auto& scalar = simdKernels(SimdLevel::Scalar);
+
+  // Unfused reference: syrk, then scaleSandwich, then the clamp — the exact
+  // sequence the Flavor::Opt transitionMatrix used to run.
+  Matrix z(n, n), want(n, n);
+  scalar.syrk(y.data(), z.data(), n, n);
+  scaleSandwich(z, l, r, want);
+  for (std::size_t k = 0; k < want.size(); ++k)
+    if (want.data()[k] < 0.0) want.data()[k] = 0.0;
+
+  Matrix got(n, n);
+  scalar.syrkSandwich(y.data(), l.data(), r.data(), got.data(), n, n);
+  EXPECT_EQ(got, want);
+}
+
+TEST(SimdKernels, ScalarTransitionMatrixMatchesFlavorOptBitwise) {
+  sim::Rng rng(71);
+  const auto pi = sim::randomCodonFrequencies(61, 5, rng);
+  Matrix s(61, 61);
+  model::buildExchangeability(bio::GeneticCode::universal(), 2.0, 0.4, s);
+  const expm::CodonEigenSystem es(s, pi);
+  const auto& scalar = simdKernels(SimdLevel::Scalar);
+
+  expm::ExpmWorkspace wsA, wsB;
+  Matrix want(61, 61), got(61, 61);
+  for (double t : {1e-4, 0.05, 0.7, 4.0}) {
+    for (auto path :
+         {expm::ReconstructionPath::Syrk, expm::ReconstructionPath::Gemm}) {
+      es.transitionMatrix(t, path, Flavor::Opt, wsA, want);
+      es.transitionMatrix(t, path, scalar, wsB, got);
+      EXPECT_EQ(got, want) << "t = " << t;
+    }
+    es.derivativeMatrix(t, Flavor::Opt, wsA, want);
+    es.derivativeMatrix(t, scalar, wsB, got);
+    EXPECT_EQ(got, want) << "dP/dt at t = " << t;
+  }
+}
+
+TEST(SimdKernels, SimdTransitionMatrixCloseToScalar) {
+  sim::Rng rng(73);
+  const auto pi = sim::randomCodonFrequencies(61, 5, rng);
+  Matrix s(61, 61);
+  model::buildExchangeability(bio::GeneticCode::universal(), 1.8, 1.2, s);
+  const expm::CodonEigenSystem es(s, pi);
+
+  expm::ExpmWorkspace wsA, wsB;
+  Matrix want(61, 61), got(61, 61);
+  es.transitionMatrix(0.1, expm::ReconstructionPath::Syrk, Flavor::Opt, wsA,
+                      want);
+  for (SimdLevel level : availableLevels()) {
+    es.transitionMatrix(0.1, expm::ReconstructionPath::Syrk,
+                        simdKernels(level), wsB, got);
+    expectClose(got, want, simdLevelName(level));
+    // Rows of a propagator are probability distributions.
+    for (int i = 0; i < 61; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < 61; ++j) sum += got(i, j);
+      EXPECT_NEAR(sum, 1.0, 1e-9) << simdLevelName(level) << " row " << i;
+    }
+  }
+}
+
+// ---------- dispatch plumbing ----------
+
+TEST(SimdDispatch, ParseAndNames) {
+  SimdMode m = SimdMode::Scalar;
+  EXPECT_TRUE(parseSimdMode("auto", m));
+  EXPECT_EQ(m, SimdMode::Auto);
+  EXPECT_TRUE(parseSimdMode("scalar", m));
+  EXPECT_EQ(m, SimdMode::Scalar);
+  EXPECT_TRUE(parseSimdMode("avx2", m));
+  EXPECT_EQ(m, SimdMode::Avx2);
+  EXPECT_TRUE(parseSimdMode("avx512", m));
+  EXPECT_EQ(m, SimdMode::Avx512);
+  EXPECT_FALSE(parseSimdMode("sse9", m));
+  EXPECT_EQ(m, SimdMode::Avx512);  // untouched on failure
+
+  EXPECT_STREQ(simdLevelName(SimdLevel::Scalar), "scalar");
+  EXPECT_STREQ(simdLevelName(SimdLevel::Avx2), "avx2");
+  EXPECT_STREQ(simdLevelName(SimdLevel::Avx512), "avx512");
+}
+
+TEST(SimdDispatch, ResolveContract) {
+  EXPECT_EQ(resolveSimdLevel(SimdMode::Scalar), SimdLevel::Scalar);
+  EXPECT_EQ(resolveSimdLevel(SimdMode::Auto), detectSimdLevel());
+  EXPECT_TRUE(simdLevelAvailable(SimdLevel::Scalar));
+  EXPECT_TRUE(simdLevelAvailable(detectSimdLevel()));
+
+  constexpr std::pair<SimdMode, SimdLevel> kPairs[] = {
+      {SimdMode::Avx2, SimdLevel::Avx2},
+      {SimdMode::Avx512, SimdLevel::Avx512}};
+  for (auto [mode, level] : kPairs) {
+    if (simdLevelAvailable(level)) {
+      EXPECT_EQ(resolveSimdLevel(mode), level);
+    } else {
+      EXPECT_THROW(resolveSimdLevel(mode), std::invalid_argument);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slim::linalg
+
+// ---------- likelihood-level parity ----------
+
+namespace slim::lik {
+namespace {
+
+using linalg::SimdLevel;
+using linalg::SimdMode;
+using model::BranchSiteParams;
+using model::Hypothesis;
+
+struct Fixture {
+  seqio::CodonAlignment alignment;
+  seqio::SitePatterns patterns;
+  std::vector<double> pi;
+  tree::Tree tree;
+};
+
+Fixture makeFixture() {
+  const sim::Dataset ds = sim::makeSweepDataset(8, /*seed=*/20260731, 40);
+  Fixture f;
+  f.alignment = seqio::encodeCodons(ds.alignment, bio::GeneticCode::universal());
+  f.patterns = seqio::compressPatterns(f.alignment);
+  f.pi = testutil::randomFrequencies(bio::GeneticCode::universal().numSense(),
+                                     11);
+  f.tree = ds.tree;
+  return f;
+}
+
+BranchSiteParams testParams() {
+  BranchSiteParams p;
+  p.kappa = 2.3;
+  p.omega0 = 0.15;
+  p.omega2 = 2.1;
+  p.p0 = 0.55;
+  p.p1 = 0.30;
+  return p;
+}
+
+SimdMode modeFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::Scalar: return SimdMode::Scalar;
+    case SimdLevel::Avx2: return SimdMode::Avx2;
+    case SimdLevel::Avx512: return SimdMode::Avx512;
+  }
+  return SimdMode::Scalar;
+}
+
+LikelihoodOptions optionsFor(SimdLevel level, PropagationStrategy strategy,
+                             int threads = 1, int blockSize = 8) {
+  LikelihoodOptions o = slimOptions();
+  o.simd = modeFor(level);
+  o.propagation = strategy;
+  o.numThreads = threads;
+  o.blockSize = blockSize;
+  return o;
+}
+
+// Every compiled SIMD flavor agrees with scalar to <= 1e-10 relative lnL on
+// all three routed hot paths (bundled gemm, factored apply, per-site gemv's
+// reconstruction-only route).
+TEST(SimdLikelihood, LnlAgreesWithScalarWithin1e10Relative) {
+  const Fixture f = makeFixture();
+  const BranchSiteParams p = testParams();
+  for (auto strategy :
+       {PropagationStrategy::BundledGemm, PropagationStrategy::FactoredApply,
+        PropagationStrategy::PerSiteGemv}) {
+    BranchSiteLikelihood scalarEval(f.alignment, f.patterns, f.pi, f.tree,
+                                    Hypothesis::H1,
+                                    optionsFor(SimdLevel::Scalar, strategy));
+    const double want = scalarEval.logLikelihood(p);
+    ASSERT_TRUE(std::isfinite(want));
+    for (SimdLevel level : {SimdLevel::Avx2, SimdLevel::Avx512}) {
+      if (!linalg::simdLevelAvailable(level)) continue;
+      BranchSiteLikelihood eval(f.alignment, f.patterns, f.pi, f.tree,
+                                Hypothesis::H1, optionsFor(level, strategy));
+      EXPECT_EQ(eval.simdLevel(), level);
+      const double got = eval.logLikelihood(p);
+      EXPECT_LE(std::fabs(got - want), 1e-10 * std::fabs(want))
+          << linalg::simdLevelName(level) << " "
+          << propagationStrategyName(strategy);
+    }
+  }
+}
+
+// Each SIMD flavor is bit-identical to itself for every thread count and
+// block size — the same invariance the scalar engine has always asserted.
+TEST(SimdLikelihood, EachLevelBitIdenticalAcrossThreadsAndBlocks) {
+  const Fixture f = makeFixture();
+  const BranchSiteParams p = testParams();
+  for (SimdLevel level :
+       {SimdLevel::Scalar, SimdLevel::Avx2, SimdLevel::Avx512}) {
+    if (!linalg::simdLevelAvailable(level)) continue;
+    BranchSiteLikelihood reference(
+        f.alignment, f.patterns, f.pi, f.tree, Hypothesis::H1,
+        optionsFor(level, PropagationStrategy::BundledGemm, 1, 8));
+    const double want = reference.logLikelihood(p);
+    ASSERT_TRUE(std::isfinite(want));
+    for (int threads : {1, 2, 8}) {
+      for (int blockSize : {0, 7, 64}) {
+        BranchSiteLikelihood eval(
+            f.alignment, f.patterns, f.pi, f.tree, Hypothesis::H1,
+            optionsFor(level, PropagationStrategy::BundledGemm, threads,
+                       blockSize));
+        EXPECT_EQ(eval.logLikelihood(p), want)
+            << linalg::simdLevelName(level) << " threads = " << threads
+            << " blockSize = " << blockSize;
+      }
+    }
+  }
+}
+
+// The analytic branch-gradient sweep shares the kernels; it must keep the
+// same two properties (partition invariance per level, closeness to scalar).
+TEST(SimdLikelihood, GradientSweepInvariantPerLevelAndCloseToScalar) {
+  const Fixture f = makeFixture();
+  const BranchSiteParams p = testParams();
+
+  BranchSiteLikelihood scalarEval(
+      f.alignment, f.patterns, f.pi, f.tree, Hypothesis::H1,
+      optionsFor(SimdLevel::Scalar, PropagationStrategy::BundledGemm));
+  std::vector<double> scalarGrad(scalarEval.numBranches());
+  const double scalarLnl = scalarEval.logLikelihoodGradientBranches(
+      p, std::span<double>(scalarGrad));
+  ASSERT_TRUE(std::isfinite(scalarLnl));
+
+  for (SimdLevel level : {SimdLevel::Avx2, SimdLevel::Avx512}) {
+    if (!linalg::simdLevelAvailable(level)) continue;
+    std::vector<double> want;
+    for (int threads : {1, 2, 8}) {
+      BranchSiteLikelihood eval(
+          f.alignment, f.patterns, f.pi, f.tree, Hypothesis::H1,
+          optionsFor(level, PropagationStrategy::BundledGemm, threads, 8));
+      std::vector<double> grad(eval.numBranches());
+      const double lnL =
+          eval.logLikelihoodGradientBranches(p, std::span<double>(grad));
+      EXPECT_LE(std::fabs(lnL - scalarLnl), 1e-10 * std::fabs(scalarLnl));
+      if (want.empty()) {
+        want = grad;
+        for (std::size_t k = 0; k < grad.size(); ++k) {
+          const double scale = std::max(1.0, std::fabs(scalarGrad[k]));
+          EXPECT_NEAR(grad[k], scalarGrad[k], 1e-8 * scale)
+              << linalg::simdLevelName(level) << " branch " << k;
+        }
+      } else {
+        EXPECT_EQ(grad, want) << linalg::simdLevelName(level)
+                              << " threads = " << threads;
+      }
+    }
+  }
+}
+
+// simd = scalar through the public options is bit-identical to the pre-SIMD
+// engine (the scalar table *is* the Flavor::Opt code), and the Naive flavor
+// always resolves to scalar regardless of the requested mode.
+TEST(SimdLikelihood, ScalarModeAndNaiveFlavorContracts) {
+  const Fixture f = makeFixture();
+  const BranchSiteParams p = testParams();
+
+  LikelihoodOptions naive = codemlBaselineOptions();
+  naive.simd = SimdMode::Auto;
+  BranchSiteLikelihood naiveEval(f.alignment, f.patterns, f.pi, f.tree,
+                                 Hypothesis::H1, naive);
+  EXPECT_EQ(naiveEval.simdLevel(), SimdLevel::Scalar);
+
+  LikelihoodOptions scalar = slimOptions();
+  scalar.simd = SimdMode::Scalar;
+  BranchSiteLikelihood scalarEval(f.alignment, f.patterns, f.pi, f.tree,
+                                  Hypothesis::H1, scalar);
+  EXPECT_EQ(scalarEval.simdLevel(), SimdLevel::Scalar);
+  // Naive and Opt agree to analysis tolerance but not bitwise; just check
+  // both produce finite, close values here.
+  const double a = naiveEval.logLikelihood(p);
+  const double b = scalarEval.logLikelihood(p);
+  ASSERT_TRUE(std::isfinite(a));
+  ASSERT_TRUE(std::isfinite(b));
+  EXPECT_NEAR(a, b, 1e-6 * std::fabs(b));
+}
+
+TEST(SimdLikelihood, ExplicitUnavailableLevelFailsConstruction) {
+  const Fixture f = makeFixture();
+  for (SimdLevel level : {SimdLevel::Avx2, SimdLevel::Avx512}) {
+    if (linalg::simdLevelAvailable(level)) continue;
+    EXPECT_THROW(
+        BranchSiteLikelihood(
+            f.alignment, f.patterns, f.pi, f.tree, Hypothesis::H1,
+            optionsFor(level, PropagationStrategy::BundledGemm)),
+        std::invalid_argument);
+  }
+  SUCCEED();  // on fully-capable hosts the loop body never runs
+}
+
+}  // namespace
+}  // namespace slim::lik

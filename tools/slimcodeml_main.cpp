@@ -42,6 +42,7 @@ Control file template:
     threads  = 0               * worker threads (0: all cores)
     parallel = auto            * auto | task | pattern (batch fan-out)
     gradient = fd              * fd | fd-parallel | analytic
+    simd     = auto            * auto | scalar | avx2 | avx512 kernels
     blockSize = 64             * site patterns per work block
     cachePropagators = 1       * persistent (omega, branch-length) cache
     CodonFreq = 2              * 0 equal, 1 F1x4, 2 F3x4, 3 F61
