@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "core/checkpoint.hpp"
 #include "support/require.hpp"
 
 namespace slim::core {
@@ -30,11 +31,13 @@ GeneHandle BatchAnalysis::addGene(const seqio::CodonAlignment& alignment,
 
 GeneHandle BatchAnalysis::addGene(const seqio::CodonAlignment& alignment,
                                   std::shared_ptr<const tree::Tree> tree,
-                                  FitOptions geneOptions) {
+                                  FitOptions geneOptions, std::string name) {
   const auto gene = static_cast<GeneHandle>(contexts_.size());
   contexts_.push_back(AnalysisContext::create(
       alignment, std::move(tree), engine_,
       resolveGeneOptions(std::move(geneOptions), gene)));
+  names_.push_back(name.empty() ? "gene" + std::to_string(gene)
+                                : std::move(name));
   return gene;
 }
 
@@ -61,14 +64,33 @@ std::vector<PositiveSelectionTest> BatchAnalysis::runAll() {
   const int numFitTasks = 2 * n;
   const int fitThreads = scheduler.taskThreads(numFitTasks, policy);
   std::vector<FitResult> fits(numFitTasks);
+  CheckpointManager* const ckpt = options_.checkpoint;
   scheduler.run(numFitTasks, policy, [&](int t) {
     const GeneHandle g = t / 2;
     const Hypothesis h = (t % 2 == 0) ? Hypothesis::H0 : Hypothesis::H1;
     const auto& ctx = *contexts_[g];
     lik::LikelihoodOptions lk = ctx.likelihoodOptions();
     lk.numThreads = fitThreads;
+    if (ckpt == nullptr) {
+      fits[t] = fitHypothesis(ctx, h, ctx.options(), lk,
+                              ctx.cacheShard(AnalysisContext::shardSlot(h)));
+      return;
+    }
+    const std::string key = fitTaskKey(g, names_[g], h);
+    if (auto done = ckpt->completedFit(key)) {
+      // Already finished by the run this checkpoint came from: skip the
+      // fit, keep the recorded result (provenance filled in by the manager).
+      fits[t] = std::move(*done);
+      return;
+    }
+    FitCheckpointHooks hooks;
+    hooks.sink = ckpt->fitSink(key);
+    hooks.resumeFrom = ckpt->inFlightState(key);
+    if (hooks.resumeFrom) hooks.resumedFromPath = ckpt->path();
     fits[t] = fitHypothesis(ctx, h, ctx.options(), lk,
-                            ctx.cacheShard(AnalysisContext::shardSlot(h)));
+                            ctx.cacheShard(AnalysisContext::shardSlot(h)),
+                            &hooks);
+    ckpt->recordCompleted(key, fits[t]);
   });
 
   // Phase 2: the N site scans at the H1 maxima, each warm-starting from its

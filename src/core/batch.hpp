@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/analysis.hpp"
@@ -25,6 +26,8 @@
 #include "core/scheduler.hpp"
 
 namespace slim::core {
+
+class CheckpointManager;  // core/checkpoint.hpp
 
 /// Identifies one registered gene (the index it was added at).
 using GeneHandle = int;
@@ -38,6 +41,11 @@ struct BatchOptions {
   /// (scheduling-independent randomized starts).  Zero: every gene uses
   /// fit.startJitterSeed as-is.
   std::uint64_t jitterSeedBase = 0;
+  /// Optional checkpoint coordinator (caller-owned, must outlive runAll).
+  /// Fits recorded complete are skipped on resume; in-flight ones continue
+  /// their recorded trajectory; every fit snapshots its optimizer state as
+  /// it runs.  Task keys come from fitTaskKey(geneIndex, geneName, h).
+  CheckpointManager* checkpoint = nullptr;
 };
 
 /// What the last runAll() did (for benches and reports).
@@ -60,10 +68,12 @@ class BatchAnalysis {
   GeneHandle addGene(const seqio::CodonAlignment& alignment,
                      std::shared_ptr<const tree::Tree> tree);
   /// Same, with per-gene fit options (must keep the batch's frequency
-  /// model semantics: the context's pi is estimated from these options).
+  /// model semantics: the context's pi is estimated from these options) and
+  /// an optional stable name used in reports and checkpoint task keys
+  /// (empty: "gene<index>").
   GeneHandle addGene(const seqio::CodonAlignment& alignment,
                      std::shared_ptr<const tree::Tree> tree,
-                     FitOptions geneOptions);
+                     FitOptions geneOptions, std::string name = {});
 
   std::size_t numGenes() const noexcept { return contexts_.size(); }
   const AnalysisContext& context(GeneHandle gene) const {
@@ -78,6 +88,9 @@ class BatchAnalysis {
   /// to reproduce the gene's batch result exactly.
   const FitOptions& geneOptions(GeneHandle gene) const {
     return contexts_.at(gene)->options();
+  }
+  const std::string& geneName(GeneHandle gene) const {
+    return names_.at(gene);
   }
   EngineKind engine() const noexcept { return engine_; }
   const BatchOptions& options() const noexcept { return options_; }
@@ -97,6 +110,7 @@ class BatchAnalysis {
   EngineKind engine_;
   BatchOptions options_;
   std::vector<std::shared_ptr<const AnalysisContext>> contexts_;
+  std::vector<std::string> names_;
   lik::EvalCounters totals_;
   BatchRunInfo lastRun_;
 };

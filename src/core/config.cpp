@@ -1,13 +1,17 @@
 #include "core/config.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <sstream>
 
+#include "core/checkpoint.hpp"
 #include "core/report.hpp"
+#include "support/atomic_file.hpp"
 #include "support/require.hpp"
 
 namespace slim::core {
@@ -166,6 +170,12 @@ Config Config::parse(std::istream& in) {
       cfg.fit.initialParams.p1 = parseDouble(key, value, lineNo);
     } else if (key == "cleandata") {
       cfg.stopCodonsAsMissing = parseInt(key, value, lineNo) != 0;
+    } else if (key == "checkpoint") {
+      cfg.checkpointPath = value;
+    } else if (key == "checkpointEverySec") {
+      cfg.checkpointEverySec = parseDouble(key, value, lineNo);
+      if (cfg.checkpointEverySec < 0)
+        badLine(lineNo, "checkpointEverySec must be >= 0");
     } else if (key == "seed") {
       const double s = parseDouble(key, value, lineNo);
       // Integral and strictly below 2^64, so the cast is defined behaviour.
@@ -242,21 +252,73 @@ void emitReport(const Config& config, const WriteReport& write) {
   if (config.outfile.empty() || config.outfile == "-") {
     write(std::cout);
   } else {
-    std::ofstream out(config.outfile);
-    SLIM_REQUIRE(out.good(),
-                 "cannot open output file '" + config.outfile + "'");
-    write(out);
+    // Reports are rendered in memory and published with temp+fsync+rename:
+    // a process killed mid-report must never leave a truncated, unparseable
+    // file where a pipeline globbing for results would read it.
+    std::ostringstream buffer;
+    write(buffer);
+    support::writeFileAtomic(config.outfile, buffer.str());
   }
 }
 
+/// The checkpoint coordinator for this run, or null when the config does
+/// not ask for one.
+std::unique_ptr<CheckpointManager> openCheckpoint(const Config& config) {
+  if (config.checkpointPath.empty()) {
+    SLIM_REQUIRE(!config.resume,
+                 "--resume requires a 'checkpoint =' path in the control "
+                 "file");
+    return nullptr;
+  }
+  return CheckpointManager::open(config.checkpointPath,
+                                 config.checkpointEverySec,
+                                 checkpointConfigHash(config), config.resume);
+}
+
 }  // namespace
+
+std::vector<std::string> scanBatchDirectory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir))
+    throw ConfigError("--batch: '" + dir + "' is not a directory");
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext == ".fasta" || ext == ".fa" || ext == ".fas" || ext == ".phy" ||
+        ext == ".phylip")
+      files.push_back(entry.path().string());
+  }
+  if (files.empty())
+    throw ConfigError("--batch: no alignments (*.fasta, *.fa, *.fas, *.phy, "
+                      "*.phylip) in '" + dir + "'");
+  // directory_iterator yields readdir order — host- and filesystem-
+  // dependent.  Gene order must be stable: it fixes gene indices, derived
+  // per-gene seeds, checkpoint task keys and report ordering.
+  std::sort(files.begin(), files.end());
+  return files;
+}
 
 PositiveSelectionTest runFromConfig(const Config& config) {
   SLIM_REQUIRE(config.analysis == AnalysisKind::BranchSite,
                "runFromConfig: control file requests 'model = site'");
   const auto in = loadInputs(config);
-  BranchSiteAnalysis analysis(in.codons, in.tree, config.engine, config.fit);
-  const auto test = analysis.run();
+  PositiveSelectionTest test;
+  if (const auto checkpoint = openCheckpoint(config)) {
+    // Checkpointed single-gene run: drive the same fit path through a
+    // one-gene batch, which carries the per-task checkpoint plumbing.
+    // Batch and sequential results are bit-identical (tests/batch_test).
+    BatchOptions options;
+    options.fit = config.fit;
+    options.checkpoint = checkpoint.get();
+    BatchAnalysis batch(config.engine, options);
+    batch.addGene(in.codons, std::make_shared<const tree::Tree>(in.tree),
+                  config.fit, fileStem(config.seqfile));
+    test = std::move(batch.runAll().front());
+  } else {
+    BranchSiteAnalysis analysis(in.codons, in.tree, config.engine, config.fit);
+    test = analysis.run();
+  }
   emitReport(config,
              [&](std::ostream& os) { writeTestReport(os, test, config.engine); });
   return test;
@@ -270,14 +332,17 @@ BatchRunOutput runBatchFromConfig(const Config& config) {
   const auto tree =
       std::make_shared<const tree::Tree>(loadTree(config.treefile));
 
+  const auto checkpoint = openCheckpoint(config);
   BatchOptions options;
   options.fit = config.fit;
+  options.checkpoint = checkpoint.get();
   BatchAnalysis batch(config.engine, options);
 
   BatchRunOutput out;
   for (const auto& path : config.seqfiles) {
-    batch.addGene(loadAlignment(path, config.stopCodonsAsMissing), tree);
     out.geneNames.push_back(fileStem(path));
+    batch.addGene(loadAlignment(path, config.stopCodonsAsMissing), tree,
+                  config.fit, out.geneNames.back());
   }
 
   out.tests = batch.runAll();
@@ -299,6 +364,8 @@ BatchRunOutput runBatchFromConfig(const Config& config) {
 SiteModelTest runSiteModelFromConfig(const Config& config) {
   SLIM_REQUIRE(config.analysis == AnalysisKind::Site,
                "runSiteModelFromConfig: control file requests branch-site");
+  SLIM_REQUIRE(config.checkpointPath.empty() && !config.resume,
+               "checkpoint/resume supports 'model = branch-site' only");
   const auto in = loadInputs(config);
   SiteModelFitOptions options;
   options.frequencyModel = config.fit.frequencyModel;

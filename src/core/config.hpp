@@ -24,6 +24,8 @@
 //     p0 = 0.45
 //     p1 = 0.45
 //     cleandata = 0                * 1: treat stop codons as missing
+//     checkpoint = run.ckpt        * snapshot long fits to this file
+//     checkpointEverySec = 30      * write throttle (0: every iteration)
 //
 // Multi-gene batches: repeat the `seqfile` line once per alignment (all
 // genes share the one tree), and every gene's branch-site test runs through
@@ -69,6 +71,15 @@ struct Config {
   AnalysisKind analysis = AnalysisKind::BranchSite;
   FitOptions fit;
   bool stopCodonsAsMissing = false;
+  /// Non-empty: branch-site fits snapshot their optimizer state to this
+  /// file (atomically) as they run, making the run resumable.
+  std::string checkpointPath;
+  /// Seconds between checkpoint writes (0: write on every iteration).
+  double checkpointEverySec = 30.0;
+  /// Set by the CLI's --resume flag: load checkpointPath (if it exists) and
+  /// continue — completed fits are skipped, in-flight ones continue their
+  /// recorded trajectory.  Version/config-hash mismatches refuse loudly.
+  bool resume = false;
 
   /// Parse `key = value` text.  Unknown keys and malformed lines throw
   /// std::invalid_argument with a line number.
@@ -100,5 +111,13 @@ struct BatchRunOutput {
 /// text reports plus a batch summary to config.outfile.  Requires
 /// analysis == BranchSite; also accepts a single seqfile.
 BatchRunOutput runBatchFromConfig(const Config& config);
+
+/// Alignments under `dir` with a recognized extension (*.fasta, *.fa,
+/// *.fas, *.phy, *.phylip), sorted lexicographically by path.  Never
+/// readdir order: that is host-dependent, and gene order determines gene
+/// indices — hence jitterSeedBase-derived per-gene seeds, checkpoint task
+/// keys and report ordering.  Throws ConfigError when `dir` is not a
+/// directory or holds no alignments.
+std::vector<std::string> scanBatchDirectory(const std::string& dir);
 
 }  // namespace slim::core

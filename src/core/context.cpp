@@ -106,7 +106,8 @@ class ParameterPacking {
 FitResult fitHypothesis(const AnalysisContext& context, Hypothesis hypothesis,
                         const FitOptions& fitOptions,
                         const lik::LikelihoodOptions& likOptions,
-                        std::shared_ptr<lik::PropagatorCacheShard> shard) {
+                        std::shared_ptr<lik::PropagatorCacheShard> shard,
+                        const FitCheckpointHooks* checkpoint) {
   const auto t0 = std::chrono::steady_clock::now();
 
   lik::BranchSiteLikelihood eval(context.alignment(), context.patterns(),
@@ -163,7 +164,17 @@ FitResult fitHypothesis(const AnalysisContext& context, Hypothesis hypothesis,
         return model::buildModelASpec(gc, context.pi(), p, hypothesis);
       });
 
-  const auto bfgsResult = opt::minimizeBfgs(objective, x0, fitOptions.bfgs);
+  // Checkpoint plumbing: the starting point is still packed above even on a
+  // resume — its length fixes the optimization dimension (which the restored
+  // state must match) — but the driver then restores the snapshot instead of
+  // evaluating at x0, continuing the recorded trajectory bit for bit.
+  const opt::BfgsState* resumeState =
+      checkpoint && checkpoint->resumeFrom ? &*checkpoint->resumeFrom
+                                           : nullptr;
+  const auto bfgsResult =
+      opt::minimizeBfgs(objective, x0, fitOptions.bfgs,
+                        checkpoint ? checkpoint->sink : opt::BfgsCheckpointSink{},
+                        resumeState);
 
   FitResult r;
   r.hypothesis = hypothesis;
@@ -179,6 +190,10 @@ FitResult fitHypothesis(const AnalysisContext& context, Hypothesis hypothesis,
   r.simd = eval.simdLevel();
   r.converged = bfgsResult.converged;
   r.counters = objective.counters();
+  if (resumeState != nullptr) {
+    r.resumedFrom = checkpoint->resumedFromPath;
+    r.iterationsReplayed = resumeState->iterations;
+  }
   r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                   .count();
   return r;
@@ -193,6 +208,16 @@ lik::SiteClassPosteriors siteScanAtFit(
                                  context.pi(), context.tree(),
                                  h1Fit.hypothesis, likOptions,
                                  std::move(shard));
+  // The fit may come from a checkpoint file rather than this process (the
+  // parser cannot know the tree's branch count); a short vector here must
+  // be a keyed error, not an out-of-bounds read.
+  SLIM_REQUIRE(h1Fit.branchLengths.size() ==
+                   static_cast<std::size_t>(eval.numBranches()),
+               "site scan: fit has " +
+                   std::to_string(h1Fit.branchLengths.size()) +
+                   " branch lengths but the tree has " +
+                   std::to_string(eval.numBranches()) +
+                   " branches (stale or corrupted checkpoint?)");
   for (int k = 0; k < eval.numBranches(); ++k)
     eval.setBranchLength(k, h1Fit.branchLengths[k]);
   auto posteriors = eval.siteClassPosteriors(h1Fit.params);

@@ -16,6 +16,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -24,6 +26,7 @@
 #include "model/branch_site.hpp"
 #include "model/frequencies.hpp"
 #include "opt/bfgs.hpp"
+#include "opt/checkpoint.hpp"
 #include "seqio/alignment.hpp"
 #include "stat/lrt.hpp"
 #include "tree/tree.hpp"
@@ -67,6 +70,12 @@ struct FitResult {
   bool converged = false;
   double seconds = 0;
   lik::EvalCounters counters;
+  /// Resume provenance: the checkpoint file this fit continued from (empty
+  /// for an uninterrupted fit) and how many optimizer iterations were
+  /// restored from it rather than recomputed here.  Recorded in the text
+  /// and JSON reports.
+  std::string resumedFrom;
+  int iterationsReplayed = 0;
 };
 
 /// Output of the full H0-vs-H1 test.
@@ -149,17 +158,33 @@ class AnalysisContext {
   std::shared_ptr<lik::SharedPropagatorCache> cache_;
 };
 
+/// Checkpoint hooks of one fit task, handed to fitHypothesis by the layer
+/// that owns the checkpoint file (core::CheckpointManager via BatchAnalysis
+/// or the config runners).  All members optional.
+struct FitCheckpointHooks {
+  /// Receives a resumable optimizer snapshot after every iteration.
+  opt::BfgsCheckpointSink sink;
+  /// Optimizer state to continue from instead of starting fresh.
+  std::optional<opt::BfgsState> resumeFrom;
+  /// Provenance recorded in FitResult::resumedFrom when resumeFrom is set
+  /// (the checkpoint file path).
+  std::string resumedFromPath;
+};
+
 /// Maximize ln L under one hypothesis over the context's shared data.
 /// `likOptions` is the fully resolved engine configuration for this task —
 /// a scheduler running task-level fan-out passes numThreads = 1 so the
 /// nested pattern sweep stays serial.  `fitOptions` must agree with the
 /// context's frequency model (the context's pi is used).  `shard` optionally
 /// carries warm propagator state across fits (null: per-fit private cache).
+/// `checkpoint`, when non-null, snapshots the optimizer trajectory and/or
+/// resumes a recorded one (bit-identical to the uninterrupted fit).
 FitResult fitHypothesis(const AnalysisContext& context,
                         model::Hypothesis hypothesis,
                         const FitOptions& fitOptions,
                         const lik::LikelihoodOptions& likOptions,
-                        std::shared_ptr<lik::PropagatorCacheShard> shard = {});
+                        std::shared_ptr<lik::PropagatorCacheShard> shard = {},
+                        const FitCheckpointHooks* checkpoint = nullptr);
 
 /// NEB site scan at an H1 maximum.  `scanCounters` receives the engine
 /// counters of this evaluation (work that per-fit counters do not cover).

@@ -26,6 +26,9 @@ void writeFitReport(std::ostream& os, const FitResult& fit) {
      << (fit.converged ? " (converged)" : " (iteration cap reached)") << '\n'
      << "    wall time = " << std::setprecision(3) << fit.seconds
      << " s, simd = " << linalg::simdLevelName(fit.simd) << '\n';
+  if (!fit.resumedFrom.empty())
+    os << "    resumed from " << fit.resumedFrom << " ("
+       << fit.iterationsReplayed << " iterations replayed)\n";
 }
 
 void writeTestReport(std::ostream& os, const PositiveSelectionTest& test,
@@ -207,6 +210,11 @@ void jsonFit(std::ostream& os, const FitResult& fit) {
   os << ",\"converged\":" << (fit.converged ? "true" : "false")
      << ",\"seconds\":";
   jsonNumber(os, fit.seconds);
+  if (!fit.resumedFrom.empty()) {
+    os << ",\"resumedFrom\":";
+    jsonString(os, fit.resumedFrom);
+    os << ",\"iterationsReplayed\":" << fit.iterationsReplayed;
+  }
   os << ",\"counters\":";
   jsonCounters(os, fit.counters);
   os << '}';

@@ -24,27 +24,14 @@ bool allFinite(std::span<const double> v) noexcept {
 }  // namespace
 
 BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
-                        const BfgsOptions& options) {
+                        const BfgsOptions& options,
+                        const BfgsCheckpointSink& sink,
+                        const BfgsState* source) {
   const std::size_t n = x0.size();
   SLIM_REQUIRE(n > 0, "BFGS: empty parameter vector");
 
   BfgsResult res;
-  res.x.assign(x0.begin(), x0.end());
-  res.value = f.value(res.x);
-  ++res.functionEvaluations;
-  // The *initial* point must be feasible — same contract as Nelder-Mead.
-  // Everywhere past this line a non-finite value is survivable: NaN/inf
-  // line-search trials are failed steps that backtrack, and a non-finite
-  // gradient (an FD probe stepping off a bound into NaN territory) ends the
-  // optimization cleanly at the last accepted point instead of corrupting
-  // the Hessian or spuriously reporting convergence.
-  SLIM_REQUIRE(std::isfinite(res.value),
-               "BFGS: objective not finite at the starting point");
-
-  // Inverse Hessian approximation, initialized to the identity.
   std::vector<double> hInv(n * n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) hInv[i * n + i] = 1.0;
-
   std::vector<double> grad(n), gradNew(n), dir(n), xNew(n), s(n), y(n), hy(n);
 
   // Gradients always come from the objective, which reports how many extra
@@ -58,14 +45,75 @@ BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
     res.gradientSweeps += gr.gradientSweeps;
     res.analyticCoordinates = gr.analyticCoordinates;
   };
-  gradientAt(res.x, res.value, grad);
-  if (!allFinite(grad)) {
-    res.message = "gradient not finite at the starting point";
-    return res;
-  }
 
   int slowProgress = 0;
-  for (res.iterations = 0; res.iterations < options.maxIterations;
+  int startIteration = 0;
+
+  if (source != nullptr) {
+    // Resume: restore the full driver state.  Hex-float serialization above
+    // this layer round-trips every double exactly, so the continued run
+    // repeats the uninterrupted trajectory bit for bit.
+    SLIM_REQUIRE(source->x.size() == n && source->grad.size() == n &&
+                     source->hInv.size() == n * n,
+                 "BFGS: checkpoint state dimensions do not match the problem");
+    // Every restored number must be finite — the text format legitimately
+    // round-trips nan/inf, and a NaN gradient or Hessian entry would make
+    // the first search direction NaN and end the fit at the checkpoint's
+    // point while looking like a clean "stationary" stop.
+    SLIM_REQUIRE(allFinite(source->x) && std::isfinite(source->value) &&
+                     allFinite(source->grad) && allFinite(source->hInv),
+                 "BFGS: checkpoint state is not finite");
+    res.x = source->x;
+    res.value = source->value;
+    grad = source->grad;
+    hInv = source->hInv;
+    res.functionEvaluations = source->functionEvaluations;
+    res.gradientEvaluations = source->gradientEvaluations;
+    res.gradientSweeps = source->gradientSweeps;
+    res.analyticCoordinates = source->analyticCoordinates;
+    slowProgress = source->slowProgress;
+    startIteration = source->iterations;
+  } else {
+    res.x.assign(x0.begin(), x0.end());
+    res.value = f.value(res.x);
+    ++res.functionEvaluations;
+    // The *initial* point must be feasible — same contract as Nelder-Mead.
+    // Everywhere past this line a non-finite value is survivable: NaN/inf
+    // line-search trials are failed steps that backtrack, and a non-finite
+    // gradient (an FD probe stepping off a bound into NaN territory) ends the
+    // optimization cleanly at the last accepted point instead of corrupting
+    // the Hessian or spuriously reporting convergence.
+    SLIM_REQUIRE(std::isfinite(res.value),
+                 "BFGS: objective not finite at the starting point");
+
+    // Inverse Hessian approximation, initialized to the identity.
+    for (std::size_t i = 0; i < n; ++i) hInv[i * n + i] = 1.0;
+
+    gradientAt(res.x, res.value, grad);
+    if (!allFinite(grad)) {
+      res.message = "gradient not finite at the starting point";
+      return res;
+    }
+  }
+
+  const auto snapshot = [&](int completedIterations) {
+    if (!sink) return;
+    BfgsState st;
+    st.x = res.x;
+    st.value = res.value;
+    st.grad = grad;
+    st.hInv = hInv;
+    st.iterations = completedIterations;
+    st.functionEvaluations = res.functionEvaluations;
+    st.gradientEvaluations = res.gradientEvaluations;
+    st.gradientSweeps = res.gradientSweeps;
+    st.analyticCoordinates = res.analyticCoordinates;
+    st.slowProgress = slowProgress;
+    sink(st);
+  };
+  if (source == nullptr) snapshot(0);
+
+  for (res.iterations = startIteration; res.iterations < options.maxIterations;
        ++res.iterations) {
     if (infNorm(grad) < options.gradTolerance * (1.0 + std::fabs(res.value))) {
       res.converged = true;
@@ -164,6 +212,8 @@ BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
     } else {
       slowProgress = 0;
     }
+
+    snapshot(res.iterations + 1);
   }
   res.message = "maximum iterations reached";
   return res;

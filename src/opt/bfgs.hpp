@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "opt/checkpoint.hpp"
 #include "opt/objective.hpp"
 
 namespace slim::opt {
@@ -66,8 +67,17 @@ struct BfgsResult {
 
 /// Minimize f from x0 with BFGS (dense inverse-Hessian update, Armijo
 /// backtracking line search; gradients from f.valueAndGradient).
+///
+/// `sink`, when set, receives a resumable BfgsState after the initial
+/// gradient and after every completed iteration.  `source`, when non-null,
+/// restores such a state instead of evaluating at x0 (whose length only
+/// fixes the dimension): the run continues the recorded trajectory
+/// bit-identically, including iteration and evaluation counters.  A source
+/// whose dimensions disagree with x0 throws std::invalid_argument.
 BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
-                        const BfgsOptions& options = {});
+                        const BfgsOptions& options = {},
+                        const BfgsCheckpointSink& sink = {},
+                        const BfgsState* source = nullptr);
 
 /// Legacy convenience overload over a std::function objective.
 BfgsResult minimizeBfgs(const Objective& f, std::span<const double> x0,

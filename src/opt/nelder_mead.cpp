@@ -24,30 +24,68 @@ double sanitize(double v) noexcept {
 
 NelderMeadResult minimizeNelderMead(ObjectiveFunction& f,
                                     std::span<const double> x0,
-                                    const NelderMeadOptions& options) {
+                                    const NelderMeadOptions& options,
+                                    const NelderMeadCheckpointSink& sink,
+                                    const NelderMeadState* source) {
   const std::size_t n = x0.size();
   SLIM_REQUIRE(n > 0, "Nelder-Mead: empty parameter vector");
   SLIM_REQUIRE(options.initialStep > 0, "Nelder-Mead: initialStep must be > 0");
 
   NelderMeadResult res;
+  std::vector<std::vector<double>> vertex;
+  std::vector<double> fv;
+  int startIteration = 0;
 
-  // Simplex of n+1 vertices: x0 and x0 + step*e_i, evaluated as one batch.
-  std::vector<std::vector<double>> vertex(n + 1,
-                                          std::vector<double>(x0.begin(), x0.end()));
-  for (std::size_t i = 1; i <= n; ++i) vertex[i][i - 1] += options.initialStep;
-  std::vector<double> fv = f.evaluateMany(vertex);
-  res.functionEvaluations += static_cast<long>(fv.size());
-  for (auto& v : fv) v = sanitize(v);
-  SLIM_REQUIRE(std::isfinite(fv[0]),
-               "Nelder-Mead: objective not finite at the starting point");
+  if (source != nullptr) {
+    // Resume: the simplex and values are the whole driver state.
+    SLIM_REQUIRE(source->vertex.size() == n + 1 && source->fv.size() == n + 1,
+                 "Nelder-Mead: checkpoint simplex size does not match the "
+                 "problem");
+    for (const auto& v : source->vertex) {
+      SLIM_REQUIRE(v.size() == n,
+                   "Nelder-Mead: checkpoint vertex dimension mismatch");
+      for (const double x : v)
+        SLIM_REQUIRE(std::isfinite(x),
+                     "Nelder-Mead: checkpoint vertex is not finite");
+    }
+    // Vertex *values* may legitimately be +inf (infeasible points), but a
+    // NaN would poison every ordering comparison.
+    for (const double v : source->fv)
+      SLIM_REQUIRE(!std::isnan(v), "Nelder-Mead: checkpoint value is NaN");
+    vertex = source->vertex;
+    fv = source->fv;
+    res.functionEvaluations = source->functionEvaluations;
+    startIteration = source->iterations;
+  } else {
+    // Simplex of n+1 vertices: x0 and x0 + step*e_i, evaluated as one batch.
+    vertex.assign(n + 1, std::vector<double>(x0.begin(), x0.end()));
+    for (std::size_t i = 1; i <= n; ++i) vertex[i][i - 1] += options.initialStep;
+    fv = f.evaluateMany(vertex);
+    res.functionEvaluations += static_cast<long>(fv.size());
+    for (auto& v : fv) v = sanitize(v);
+    SLIM_REQUIRE(std::isfinite(fv[0]),
+                 "Nelder-Mead: objective not finite at the starting point");
+  }
 
   std::vector<std::size_t> order(n + 1);
   std::vector<double> centroid(n);
   std::vector<std::vector<double>> pair(2, std::vector<double>(n));
   std::vector<double> xc(n);
 
-  for (res.iterations = 0; res.iterations < options.maxIterations;
-       ++res.iterations) {
+  const auto snapshot = [&](int completedIterations) {
+    if (!sink) return;
+    NelderMeadState st;
+    st.vertex = vertex;
+    st.fv = fv;
+    st.iterations = completedIterations;
+    st.functionEvaluations = res.functionEvaluations;
+    sink(st);
+  };
+  if (source == nullptr) snapshot(0);
+
+  // One reflect/expand/contract/shrink step; returns true when the
+  // convergence test at the top of the step fires.
+  const auto step = [&]() -> bool {
     // Order vertices by value.
     for (std::size_t i = 0; i <= n; ++i) order[i] = i;
     std::sort(order.begin(), order.end(),
@@ -65,7 +103,7 @@ NelderMeadResult minimizeNelderMead(ObjectiveFunction& f,
     if (spread < options.fTolerance * (1.0 + std::fabs(fv[best])) &&
         diameter < options.xTolerance) {
       res.converged = true;
-      break;
+      return true;
     }
 
     // Centroid of all but the worst vertex.
@@ -113,12 +151,12 @@ NelderMeadResult minimizeNelderMead(ObjectiveFunction& f,
         vertex[worst] = xr;
         fv[worst] = fr;
       }
-      continue;
+      return false;
     }
     if (fr < fv[second]) {
       vertex[worst] = xr;
       fv[worst] = fr;
-      continue;
+      return false;
     }
 
     // Contraction (outside if the reflected point improved on the worst,
@@ -132,7 +170,7 @@ NelderMeadResult minimizeNelderMead(ObjectiveFunction& f,
     if (fc < (outside ? fr : fv[worst])) {
       vertex[worst] = xc;
       fv[worst] = fc;
-      continue;
+      return false;
     }
 
     // Shrink towards the best vertex (n moved vertices, one batch).
@@ -151,6 +189,13 @@ NelderMeadResult minimizeNelderMead(ObjectiveFunction& f,
     res.functionEvaluations += static_cast<long>(shrunk.size());
     for (std::size_t j = 0; j < shrunkIdx.size(); ++j)
       fv[shrunkIdx[j]] = sanitize(shrunkValues[j]);
+    return false;
+  };
+
+  for (res.iterations = startIteration; res.iterations < options.maxIterations;
+       ++res.iterations) {
+    if (step()) break;
+    snapshot(res.iterations + 1);
   }
 
   std::size_t best = 0;

@@ -17,6 +17,7 @@
 // the values exactly as the sequential algorithm would, so the trajectory
 // is unchanged either way.
 
+#include "opt/checkpoint.hpp"
 #include "opt/objective.hpp"
 
 namespace slim::opt {
@@ -38,9 +39,18 @@ struct NelderMeadResult {
 
 /// Minimize f from x0.  The objective may return +inf/NaN for infeasible
 /// points (treated as worse than any finite value).
+///
+/// `sink`, when set, receives a resumable NelderMeadState after the initial
+/// simplex evaluation and after every completed iteration.  `source`, when
+/// non-null, restores such a state instead of building the simplex from x0
+/// (whose length only fixes the dimension); the continued run repeats the
+/// uninterrupted trajectory bit for bit.  A source whose dimensions disagree
+/// with x0 throws std::invalid_argument.
 NelderMeadResult minimizeNelderMead(ObjectiveFunction& f,
                                     std::span<const double> x0,
-                                    const NelderMeadOptions& options = {});
+                                    const NelderMeadOptions& options = {},
+                                    const NelderMeadCheckpointSink& sink = {},
+                                    const NelderMeadState* source = nullptr);
 
 /// Legacy convenience overload over a std::function objective.
 NelderMeadResult minimizeNelderMead(const Objective& f,

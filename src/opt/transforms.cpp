@@ -9,6 +9,20 @@ namespace {
 // Clamp margin keeping internal coordinates in a numerically benign range:
 // |u| <= ~34 for log/logistic transforms.
 constexpr double kTiny = 1e-15;
+// Upper clamp for the log transform's argument: log(kHuge) ~ 690 is still a
+// benign internal coordinate, while exp() of anything near it stays finite.
+constexpr double kHuge = 1e300;
+
+// Clamp v into [lo, hi] treating NaN as lo.  std::clamp/std::max propagate
+// NaN (every comparison is false), which is exactly the poison this guards
+// against: a parameter sitting on — or knocked past — a box bound must map
+// to a *finite* internal coordinate, or a resumed BFGS step inherits
+// NaN/inf and every later iterate is garbage.
+double clampFinite(double v, double lo, double hi) noexcept {
+  if (!(v > lo)) return lo;  // also catches NaN
+  if (!(v < hi)) return hi;
+  return v;
+}
 }  // namespace
 
 double Transform::toExternal(double u) const noexcept {
@@ -26,11 +40,10 @@ double Transform::toExternal(double u) const noexcept {
 double Transform::toInternal(double x) const noexcept {
   switch (kind_) {
     case Kind::Identity: return x;
-    case Kind::Log: return std::log(std::max(x - lo_, kTiny));
+    case Kind::Log: return std::log(clampFinite(x - lo_, kTiny, kHuge));
     case Kind::Logistic: {
       const double w = (hi_ - lo_);
-      double s = (x - lo_) / w;
-      s = std::clamp(s, kTiny, 1.0 - kTiny);
+      const double s = clampFinite((x - lo_) / w, kTiny, 1.0 - kTiny);
       return std::log(s / (1.0 - s));
     }
   }
@@ -58,9 +71,9 @@ std::pair<double, double> simplex2ToExternal(double u, double v) noexcept {
 }
 
 std::pair<double, double> simplex2ToInternal(double p0, double p1) noexcept {
-  p0 = std::max(p0, kTiny);
-  p1 = std::max(p1, kTiny);
-  const double rest = std::max(1.0 - p0 - p1, kTiny);
+  p0 = clampFinite(p0, kTiny, 1.0 - kTiny);
+  p1 = clampFinite(p1, kTiny, 1.0 - kTiny);
+  const double rest = clampFinite(1.0 - p0 - p1, kTiny, 1.0);
   return {std::log(p0 / rest), std::log(p1 / rest)};
 }
 

@@ -22,8 +22,10 @@ class Transform {
   }
 
   double toExternal(double u) const noexcept;
-  /// Inverse of toExternal; x is clamped strictly inside the domain first
-  /// so that boundary starting values do not map to +-infinity.
+  /// Inverse of toExternal; x is clamped strictly inside the *open* domain
+  /// first, so a value sitting exactly on a box bound (a degenerate start,
+  /// or a checkpoint written at the clamp) — or even NaN/inf — maps to a
+  /// finite internal coordinate instead of +-infinity.
   double toInternal(double x) const noexcept;
   /// d toExternal / du at u — the chain-rule factor mapping an analytic
   /// derivative in the external (bounded) parameter onto the internal

@@ -1,0 +1,111 @@
+#include "support/atomic_file.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#if defined(_WIN32)
+#include <process.h>
+
+#include <filesystem>
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace slim::support {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("atomic write to '" + path + "' failed: " + what);
+}
+
+}  // namespace
+
+#if defined(_WIN32)
+
+// Portability fallback: stream + std::filesystem::rename, which replaces
+// an existing destination in one step (MoveFileEx semantics) — the
+// destination is never deleted first, so it is always either the previous
+// or the complete new content.  No fsync equivalent is attempted here.
+void writeFileAtomic(const std::string& path, std::string_view content) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::_getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) fail(path, "cannot open temp file");
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      fail(path, "short write to temp file");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    fail(path, "rename failed: " + ec.message());
+  }
+}
+
+#else
+
+void writeFileAtomic(const std::string& path, std::string_view content) {
+  // Temp file in the destination directory, named per-pid so concurrent
+  // writers (two batch runs sharing an output directory) never collide.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail(path, std::strerror(errno));
+
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + written,
+                              content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail(path, std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The data must be durable *before* the rename publishes it, or a crash
+  // shortly after could surface a complete-looking but empty file.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(path, std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail(path, std::strerror(err));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    fail(path, std::strerror(err));
+  }
+  // Best-effort directory fsync so the rename itself survives a power cut;
+  // failure here is not a correctness problem for the file content.
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dirFd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirFd >= 0) {
+    ::fsync(dirFd);
+    ::close(dirFd);
+  }
+}
+
+#endif
+
+}  // namespace slim::support

@@ -1,0 +1,26 @@
+#pragma once
+// Crash-safe file replacement shared by checkpoints and report writers.
+//
+// A process killed mid-write (preemption, OOM, SIGKILL on a grid node) must
+// never leave a truncated checkpoint or half-emitted report behind: any
+// pipeline globbing result files would read garbage, and a truncated
+// checkpoint could poison a resumed optimization.  writeFileAtomic gives the
+// standard guarantee: the destination either keeps its previous content or
+// holds the complete new content, never anything in between.
+
+#include <string>
+#include <string_view>
+
+namespace slim::support {
+
+/// Write `content` to `path` atomically: the bytes go to a temp file in the
+/// same directory (same filesystem, so the final rename cannot degrade to a
+/// copy), are flushed and fsync'd to disk (POSIX; the Windows fallback has
+/// no fsync), and the temp file is renamed over the destination.  Throws
+/// std::runtime_error on any I/O failure, in which case the temp file is
+/// removed and the destination is untouched.  A process killed mid-call may
+/// strand the pid-suffixed temp file, but the destination is still either
+/// its previous or its complete new content.
+void writeFileAtomic(const std::string& path, std::string_view content);
+
+}  // namespace slim::support

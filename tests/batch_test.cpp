@@ -13,11 +13,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "core/batch.hpp"
+#include "core/config.hpp"
 #include "core/report.hpp"
 #include "core/scheduler.hpp"
 #include "sim/datasets.hpp"
@@ -317,6 +320,44 @@ TEST(BatchAnalysis, JitterSeedBaseDerivesPerGeneSeeds) {
                                 batch.geneOptions(static_cast<GeneHandle>(g)));
     expectSameTest(tests[g], isolated.run(), "seeded gene=" + std::to_string(g));
   }
+}
+
+// ---------- batch directory enumeration ----------
+
+// Gene order fixes gene indices — and therefore jitterSeedBase-derived
+// per-gene seeds, checkpoint task keys and report ordering.  Enumeration
+// must be sorted lexicographically, never readdir order (which depends on
+// the host filesystem: a batch submitted on ext4 and resumed on xfs would
+// silently renumber its genes).
+TEST(ScanBatchDirectory, SortsLexicographicallyAndFiltersExtensions) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "slim_batch_scan_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // Created deliberately out of lexicographic order, so a readdir-order
+  // regression has a chance of surfacing even on filesystems that return
+  // entries in creation order.
+  for (const char* name : {"zeta.fasta", "alpha.phy", "mid.fa", "beta.fas",
+                           "omega.phylip", "notes.txt", "a_dir.fasta.bak"})
+    std::ofstream(dir / name) << ">x\nATG\n";
+  fs::create_directories(dir / "sub.fasta");  // directories never count
+
+  const auto files = scanBatchDirectory(dir.string());
+  ASSERT_EQ(files.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+  const std::vector<std::string> expected = {
+      (dir / "alpha.phy").string(), (dir / "beta.fas").string(),
+      (dir / "mid.fa").string(), (dir / "omega.phylip").string(),
+      (dir / "zeta.fasta").string()};
+  EXPECT_EQ(files, expected);
+
+  // Errors are keyed ConfigErrors, not raw filesystem surprises.
+  EXPECT_THROW(scanBatchDirectory((dir / "nope").string()), ConfigError);
+  const fs::path empty = dir / "empty";
+  fs::create_directories(empty);
+  EXPECT_THROW(scanBatchDirectory(empty.string()), ConfigError);
+  fs::remove_all(dir);
 }
 
 // ---------- reports over batch results ----------

@@ -95,6 +95,28 @@ TEST(ConfigParse, Errors) {
                std::invalid_argument);
 }
 
+TEST(ConfigParse, CheckpointKeys) {
+  const auto cfg = Config::parseString(
+      "seqfile = s\ntreefile = t\ncheckpoint = run.ckpt\n"
+      "checkpointEverySec = 2.5\n");
+  EXPECT_EQ(cfg.checkpointPath, "run.ckpt");
+  EXPECT_DOUBLE_EQ(cfg.checkpointEverySec, 2.5);
+  EXPECT_FALSE(cfg.resume);  // --resume is a CLI flag, not a ctl key
+
+  // Defaults: no checkpointing, 30 s throttle.
+  const auto plain = Config::parseString("seqfile = s\ntreefile = t\n");
+  EXPECT_TRUE(plain.checkpointPath.empty());
+  EXPECT_DOUBLE_EQ(plain.checkpointEverySec, 30.0);
+
+  // A negative throttle and a malformed one are keyed errors.
+  EXPECT_THROW(Config::parseString(
+                   "seqfile = s\ntreefile = t\ncheckpointEverySec = -1\n"),
+               ConfigError);
+  EXPECT_THROW(Config::parseString(
+                   "seqfile = s\ntreefile = t\ncheckpointEverySec = soon\n"),
+               ConfigError);
+}
+
 TEST(ConfigParse, SimdModes) {
   const char* base = "seqfile = s\ntreefile = t\nsimd = ";
   EXPECT_EQ(Config::parseString(std::string(base) + "auto\n").fit.tuning.simd,

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -55,6 +56,60 @@ TEST(Transforms, LogisticBoundaryInputClamped) {
   const auto t = Transform::logistic(0.0, 1.0);
   EXPECT_TRUE(std::isfinite(t.toInternal(0.0)));
   EXPECT_TRUE(std::isfinite(t.toInternal(1.0)));
+}
+
+// A parameter sitting exactly on a box bound — p1 = 0 from a degenerate
+// start, a branch length at the clamp in a checkpoint — must map to a
+// finite internal coordinate whose round trip lands strictly inside the
+// open domain, or a resumed BFGS step starts from ±inf/NaN and every later
+// iterate is poisoned.  Same for values knocked *past* a bound and for
+// non-finite input (std::max/std::clamp propagate NaN).
+TEST(Transforms, InverseClampsIntoOpenIntervalAtBothBounds) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // PAML's branch-length box (0, 50].
+  const auto branch = Transform::logistic(0.0, 50.0);
+  for (double x : {0.0, -1e-9, -5.0, 50.0, 50.0 + 1e-9, 1e9, inf, -inf, nan}) {
+    const double u = branch.toInternal(x);
+    EXPECT_TRUE(std::isfinite(u)) << "x=" << x;
+    const double back = branch.toExternal(u);
+    EXPECT_GT(back, 0.0) << "x=" << x;
+    EXPECT_LT(back, 50.0) << "x=" << x;
+    EXPECT_TRUE(std::isfinite(branch.derivative(u))) << "x=" << x;
+  }
+
+  // kappa > 0 and omega2 > 1 (log transforms); inf would otherwise map to
+  // an inf internal coordinate.
+  for (const auto t : {Transform::logAbove(0.0), Transform::logAbove(1.0)}) {
+    for (double offset : {0.0, -1.0, inf, -inf, nan}) {
+      const double u = t.toInternal(offset);
+      EXPECT_TRUE(std::isfinite(u)) << "offset=" << offset;
+      EXPECT_TRUE(std::isfinite(t.toExternal(u))) << "offset=" << offset;
+    }
+  }
+}
+
+TEST(Simplex2, InverseClampsDegenerateAndNonFiniteInput) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // On the simplex boundary (p1 = 0, p0 + p1 = 1) and beyond it.
+  for (auto [p0, p1] : {std::pair{0.9, 0.0}, {0.0, 0.9}, {0.0, 0.0},
+                        {0.5, 0.5}, {1.0, 0.0}, {1.5, -0.5}, {inf, 0.3},
+                        {nan, nan}}) {
+    const auto [u, v] = simplex2ToInternal(p0, p1);
+    EXPECT_TRUE(std::isfinite(u)) << p0 << "," << p1;
+    EXPECT_TRUE(std::isfinite(v)) << p0 << "," << p1;
+    const auto [q0, q1] = simplex2ToExternal(u, v);
+    EXPECT_GT(q0, 0.0);
+    EXPECT_GT(q1, 0.0);
+    EXPECT_LT(q0 + q1, 1.0);
+  }
+  // Well-inside values still round-trip tightly after the audit.
+  const auto [u, v] = simplex2ToInternal(0.45, 0.45);
+  const auto [q0, q1] = simplex2ToExternal(u, v);
+  EXPECT_NEAR(q0, 0.45, 1e-12);
+  EXPECT_NEAR(q1, 0.45, 1e-12);
 }
 
 // ---------- simplex transform ----------

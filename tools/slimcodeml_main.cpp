@@ -1,25 +1,25 @@
 // The slimcodeml command-line tool: the CodeML-style workflow driven by a
 // control file.
 //
-//   slimcodeml [--json] [--batch <dir>] analysis.ctl
+//   slimcodeml [--json] [--batch <dir>] [--resume] analysis.ctl
 //
 // See src/core/config.hpp for the control-file reference, or run with
 // --help for a template.
 
-#include <algorithm>
-#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/report.hpp"
+#include "support/atomic_file.hpp"
 
 namespace {
 
-constexpr const char* kUsage = R"(usage: slimcodeml [--json] [--batch <dir>] <control-file>
+constexpr const char* kUsage = R"(usage: slimcodeml [--json] [--batch <dir>] [--resume] <control-file>
 
 Fits branch-site model A under H0 and H1, runs the likelihood-ratio test
 for positive selection on the #1-marked foreground branch, and writes a
@@ -31,6 +31,10 @@ the worker pool, sharing the tree and the propagator cache machinery.
                  when outfile names a file, else to stdout after the text
   --batch <dir>  append every *.fasta/*.fa/*.phy alignment in <dir> (sorted)
                  to the control file's seqfile list
+  --resume       continue from the control file's `checkpoint =` file:
+                 completed fits are skipped, interrupted ones continue
+                 their recorded trajectory bit-identically; a checkpoint
+                 from a different configuration is refused
 
 Control file template:
 
@@ -54,31 +58,13 @@ Control file template:
     p1 = 0.45
     cleandata = 0              * 1: stop codons treated as missing data
     seed = 0                   * nonzero: jitter the starting values
+    checkpoint = run.ckpt      * snapshot fits for --resume
+    checkpointEverySec = 30    * checkpoint write throttle (0: every iter)
 )";
 
-/// Alignments in `dir` with a sequence-file extension, sorted by name so
-/// gene order (and hence GeneHandles and derived seeds) is deterministic.
-std::vector<std::string> scanBatchDir(const std::string& dir) {
-  namespace fs = std::filesystem;
-  if (!fs::is_directory(dir))
-    throw std::invalid_argument("--batch: '" + dir + "' is not a directory");
-  std::vector<std::string> files;
-  for (const auto& entry : fs::directory_iterator(dir)) {
-    if (!entry.is_regular_file()) continue;
-    const auto ext = entry.path().extension().string();
-    if (ext == ".fasta" || ext == ".fa" || ext == ".fas" || ext == ".phy" ||
-        ext == ".phylip")
-      files.push_back(entry.path().string());
-  }
-  if (files.empty())
-    throw std::invalid_argument("--batch: no alignments (*.fasta, *.fa, "
-                                "*.fas, *.phy, *.phylip) in '" + dir + "'");
-  std::sort(files.begin(), files.end());
-  return files;
-}
-
 /// The JSON report lands next to the text report: '<outfile>.json' when the
-/// text goes to a file, stdout otherwise.
+/// text goes to a file, stdout otherwise.  File emission is atomic
+/// (temp+fsync+rename), like every other report and checkpoint write.
 void emitJson(const slim::core::Config& config,
               const std::function<void(std::ostream&)>& write) {
   if (config.outfile.empty() || config.outfile == "-") {
@@ -86,10 +72,9 @@ void emitJson(const slim::core::Config& config,
     return;
   }
   const std::string path = config.outfile + ".json";
-  std::ofstream out(path);
-  if (!out.good())
-    throw std::invalid_argument("cannot open JSON output file '" + path + "'");
-  write(out);
+  std::ostringstream buffer;
+  write(buffer);
+  slim::support::writeFileAtomic(path, buffer.str());
   std::cerr << "wrote " << path << '\n';
 }
 
@@ -97,6 +82,7 @@ void emitJson(const slim::core::Config& config,
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool resume = false;
   std::string batchDir;
   std::string ctlPath;
   for (int i = 1; i < argc; ++i) {
@@ -106,6 +92,8 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (arg == "--batch") {
       if (i + 1 >= argc) {
         std::cerr << "slimcodeml: error: --batch needs a directory\n";
@@ -126,8 +114,9 @@ int main(int argc, char** argv) {
 
   try {
     auto config = slim::core::Config::parseFile(ctlPath);
+    config.resume = resume;
     if (!batchDir.empty()) {
-      for (auto& path : scanBatchDir(batchDir))
+      for (auto& path : slim::core::scanBatchDirectory(batchDir))
         config.seqfiles.push_back(std::move(path));
       config.seqfile = config.seqfiles.front();
     }
