@@ -30,7 +30,7 @@ int main() {
             << "D (H0)" << std::setw(16) << "D (H1)" << "lnL (Slim, H1)\n";
 
   model::BranchSiteParams params = sim::defaultSimulationParams();
-  for (const auto& spec : sim::paperDatasetSpecs()) {
+  for (const auto& spec : bench::benchDatasetSpecs()) {
     const auto ds = bench::paperDataset(spec.id);
     const auto ca = seqio::encodeCodons(ds.alignment, gc);
     const auto sp = seqio::compressPatterns(ca);

@@ -18,6 +18,15 @@
 
 namespace slim::bench {
 
+/// True when SLIM_BENCH_SMOKE is set and nonzero: the CI bitrot check.
+/// Every harness must shrink to its smallest configuration (smallest
+/// dataset, iteration cap 1, one sweep point) and finish in seconds — the
+/// run proves the binary still builds and executes, not how fast it is.
+inline bool benchSmoke() {
+  const char* env = std::getenv("SLIM_BENCH_SMOKE");
+  return env && *env && std::string(env) != "0";
+}
+
 /// Iteration-cap multiplier from the environment (default 1.0).
 inline double benchScale() {
   if (const char* env = std::getenv("SLIM_BENCH_SCALE")) {
@@ -28,6 +37,7 @@ inline double benchScale() {
 }
 
 inline int scaledCap(int base) {
+  if (benchSmoke()) return 1;
   const int v = static_cast<int>(base * benchScale());
   return v < 1 ? 1 : v;
 }
@@ -79,6 +89,14 @@ inline constexpr std::uint64_t kDatasetSeed = 20120521;  // IPDPSW'12 date
 
 inline sim::Dataset paperDataset(sim::PaperDatasetId id) {
   return sim::makePaperDataset(id, kDatasetSeed);
+}
+
+/// The Table II shapes a harness should iterate: all four normally, only
+/// the cheapest one (dataset i) under benchSmoke().
+inline std::vector<sim::PaperDatasetSpec> benchDatasetSpecs() {
+  const auto& all = sim::paperDatasetSpecs();
+  if (benchSmoke()) return {all.front()};
+  return all;
 }
 
 /// Default iteration caps per dataset (before SLIM_BENCH_SCALE), sized so a

@@ -22,7 +22,8 @@ int main() {
             << "combined H0+H1" << std::setw(16) << "per-iter H0+H1"
             << "CodeML s / Slim s\n";
 
-  for (int species = 15; species <= 95; species += 10) {
+  const int maxSpecies = bench::benchSmoke() ? 15 : 95;  // smoke: 1 point
+  for (int species = 15; species <= maxSpecies; species += 10) {
     const auto ds = sim::makeSweepDataset(species, bench::kDatasetSeed);
     const auto base =
         bench::runEngine(ds, core::EngineKind::CodemlBaseline, cap);

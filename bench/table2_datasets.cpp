@@ -21,7 +21,7 @@ int main() {
             << std::setw(10) << "Codons" << std::setw(10) << "Patterns"
             << std::setw(10) << "Branches" << "Foreground\n";
 
-  for (const auto& spec : sim::paperDatasetSpecs()) {
+  for (const auto& spec : bench::benchDatasetSpecs()) {
     const auto ds = bench::paperDataset(spec.id);
     const auto ca =
         seqio::encodeCodons(ds.alignment, bio::GeneticCode::universal());

@@ -27,7 +27,7 @@ int main() {
             << "note\n";
 
   double totalBase = 0, totalSlim = 0;
-  for (const auto& spec : sim::paperDatasetSpecs()) {
+  for (const auto& spec : bench::benchDatasetSpecs()) {
     const auto ds = bench::paperDataset(spec.id);
     const int cap = bench::scaledCap(bench::defaultCap(spec.id));
 

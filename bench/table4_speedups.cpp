@@ -25,7 +25,7 @@
 
 int main() {
   using namespace slim;
-  const auto& specs = sim::paperDatasetSpecs();
+  const auto specs = bench::benchDatasetSpecs();
 
   struct Row {
     bench::EnginePair base, slim;

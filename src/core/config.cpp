@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "core/checkpoint.hpp"
+#include "core/tuning_profile.hpp"
 #include "core/report.hpp"
 #include "support/atomic_file.hpp"
 #include "support/require.hpp"
@@ -170,6 +171,8 @@ Config Config::parse(std::istream& in) {
       cfg.fit.initialParams.p1 = parseDouble(key, value, lineNo);
     } else if (key == "cleandata") {
       cfg.stopCodonsAsMissing = parseInt(key, value, lineNo) != 0;
+    } else if (key == "tuning") {
+      cfg.tuningPath = value;
     } else if (key == "checkpoint") {
       cfg.checkpointPath = value;
     } else if (key == "checkpointEverySec") {
@@ -277,6 +280,20 @@ std::unique_ptr<CheckpointManager> openCheckpoint(const Config& config) {
 
 }  // namespace
 
+Config resolveTuningProfile(Config config) {
+  if (config.tuningPath.empty()) return config;
+  std::string path = config.tuningPath;
+  if (config.tuningPath == "auto") {
+    path = defaultTuningProfilePath();
+    // Auto is best-effort: an untuned host runs on the engine defaults.  An
+    // *existing* profile still goes through the strict load — a corrupt or
+    // foreign-host file is an error, never silently ignored.
+    if (!std::filesystem::exists(path)) return config;
+  }
+  TuningProfile::load(path).applyTo(config.fit.tuning);
+  return config;
+}
+
 std::vector<std::string> scanBatchDirectory(const std::string& dir) {
   namespace fs = std::filesystem;
   if (!fs::is_directory(dir))
@@ -299,7 +316,8 @@ std::vector<std::string> scanBatchDirectory(const std::string& dir) {
   return files;
 }
 
-PositiveSelectionTest runFromConfig(const Config& config) {
+PositiveSelectionTest runFromConfig(const Config& rawConfig) {
+  const Config config = resolveTuningProfile(rawConfig);
   SLIM_REQUIRE(config.analysis == AnalysisKind::BranchSite,
                "runFromConfig: control file requests 'model = site'");
   const auto in = loadInputs(config);
@@ -324,7 +342,8 @@ PositiveSelectionTest runFromConfig(const Config& config) {
   return test;
 }
 
-BatchRunOutput runBatchFromConfig(const Config& config) {
+BatchRunOutput runBatchFromConfig(const Config& rawConfig) {
+  const Config config = resolveTuningProfile(rawConfig);
   SLIM_REQUIRE(config.analysis == AnalysisKind::BranchSite,
                "runBatchFromConfig: control file requests 'model = site'");
   SLIM_REQUIRE(!config.seqfiles.empty(), "runBatchFromConfig: no seqfiles");
@@ -361,7 +380,8 @@ BatchRunOutput runBatchFromConfig(const Config& config) {
   return out;
 }
 
-SiteModelTest runSiteModelFromConfig(const Config& config) {
+SiteModelTest runSiteModelFromConfig(const Config& rawConfig) {
+  const Config config = resolveTuningProfile(rawConfig);
   SLIM_REQUIRE(config.analysis == AnalysisKind::Site,
                "runSiteModelFromConfig: control file requests branch-site");
   SLIM_REQUIRE(config.checkpointPath.empty() && !config.resume,

@@ -26,6 +26,10 @@
 //     cleandata = 0                * 1: treat stop codons as missing
 //     checkpoint = run.ckpt        * snapshot long fits to this file
 //     checkpointEverySec = 30      * write throttle (0: every iteration)
+//     tuning = auto                * per-host autotuning profile: 'auto'
+//                                  * ($SLIMCODEML_TUNING or slimcodeml.tuning,
+//                                  * skipped when absent) or an explicit path
+//                                  * (strictly loaded; wrong host refused)
 //
 // Multi-gene batches: repeat the `seqfile` line once per alignment (all
 // genes share the one tree), and every gene's branch-site test runs through
@@ -80,6 +84,11 @@ struct Config {
   /// continue — completed fits are skipped, in-flight ones continue their
   /// recorded trajectory.  Version/config-hash mismatches refuse loudly.
   bool resume = false;
+  /// `tuning =` key: empty (off), "auto" (defaultTuningProfilePath(), used
+  /// only when the file exists) or an explicit profile path (must load).
+  /// The loaded profile fills only tuning fields the control file left at
+  /// their defaults — see resolveTuningProfile.
+  std::string tuningPath;
 
   /// Parse `key = value` text.  Unknown keys and malformed lines throw
   /// std::invalid_argument with a line number.
@@ -87,6 +96,15 @@ struct Config {
   static Config parseString(std::string_view text);
   static Config parseFile(const std::string& path);
 };
+
+/// Apply the config's `tuning =` request: load the named profile (or the
+/// default-path one under "auto", skipping silently only when that file
+/// does not exist) and merge it into config.fit.tuning — profile values
+/// fill only fields still at their defaults, so explicit ctl keys win.
+/// Every config runner calls this first; exposed for tests and tools.
+/// Throws ConfigError on a corrupt, version-mismatched or foreign-host
+/// profile (see core/tuning_profile.hpp).
+Config resolveTuningProfile(Config config);
 
 /// Load the alignment (FASTA when the first non-blank char is '>', else
 /// sequential PHYLIP) and tree named by the config, run the full H0/H1

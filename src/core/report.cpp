@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "support/json.hpp"
 #include "support/require.hpp"
 
 namespace slim::core {
@@ -145,37 +146,9 @@ void writeBatchSummary(std::ostream& os,
 
 namespace {
 
-/// Full-precision JSON number; non-finite doubles (legal in IEEE, illegal
-/// in JSON) become null.
-void jsonNumber(std::ostream& os, double v) {
-  if (!std::isfinite(v)) {
-    os << "null";
-    return;
-  }
-  // defaultfloat guards against float-format state (std::fixed) left on a
-  // shared stream by a preceding text report.
-  os << std::defaultfloat
-     << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
-}
-
-void jsonString(std::ostream& os, std::string_view s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20)
-          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-             << static_cast<int>(c) << std::dec << std::setfill(' ');
-        else
-          os << c;
-    }
-  }
-  os << '"';
-}
+// JSON primitives shared with every structured-report writer.
+using support::jsonNumber;
+using support::jsonString;
 
 void jsonCounters(std::ostream& os, const lik::EvalCounters& c) {
   os << "{\"evaluations\":" << c.evaluations

@@ -1,0 +1,69 @@
+#pragma once
+// Per-host autotuning profiles (the xblas build_resource_model / predict
+// split, PAPERS.md): `slimcodeml-tune` microbenchmarks blockSize x
+// ParallelPolicy x SIMD level x thread count on the host and persists the
+// winning configuration here; `tuning = auto|<path>` in a control file loads
+// it at run time.
+//
+// Discipline mirrors core::Checkpoint: a versioned, line-oriented text
+// format with a strict parser (unknown field, truncation, bad magic or a
+// version bump throw keyed ConfigError, never UB), atomic writes
+// (temp+fsync+rename via support::writeFileAtomic), and a host binding — a
+// profile measured on one machine must not silently steer another: load()
+// refuses a profile whose host signature does not match this machine.
+//
+// Profiles fill only tuning fields the user left at their defaults
+// (numThreads/blockSize sentinels, policy/simd Auto), so explicit ctl keys
+// always win over the profile.
+
+#include <string>
+#include <string_view>
+
+#include "core/engine.hpp"
+
+namespace slim::core {
+
+struct TuningProfile {
+  static constexpr int kVersion = 1;
+
+  // --- host binding (written by the tuner, checked by load()) ---
+  std::string host;          ///< hostname the profile was measured on
+  std::string simdDetected;  ///< best SIMD level available on that host
+  int hardwareThreads = 0;   ///< its hardware thread count
+
+  // --- tuned values (sentinels mean "leave the preset alone") ---
+  int numThreads = -1;                           ///< -1: untuned
+  int blockSize = -1;                            ///< -1: untuned
+  ParallelPolicy policy = ParallelPolicy::Auto;  ///< Auto: untuned
+  linalg::SimdMode simd = linalg::SimdMode::Auto;  ///< Auto: untuned
+
+  /// Seconds per likelihood evaluation of the winning configuration
+  /// (informational; lets a re-tune report the improvement).
+  double secondsPerEval = 0;
+
+  std::string serialize() const;
+  /// Inverse of serialize.  Malformed or truncated text, an unknown format
+  /// version or an unknown field throws ConfigError naming `origin`, the
+  /// offending line and the offending key.  Does NOT check the host
+  /// binding — that is load()'s job (tests construct foreign profiles).
+  static TuningProfile parse(std::string_view text, const std::string& origin);
+
+  /// parse() plus the host check: a profile recorded on a different host,
+  /// or recorded with a SIMD level this host cannot run, is refused with a
+  /// keyed ConfigError (a stale NFS-shared profile must fail loudly, not
+  /// silently mis-tune).
+  static TuningProfile load(const std::string& path);
+
+  void save(const std::string& path) const;  ///< Atomic (temp+fsync+rename).
+
+  /// Copy the tuned values into `tuning`, touching only fields still at
+  /// their defaults (numThreads/blockSize < 0, policy/simd == Auto): an
+  /// explicit ctl key beats the profile.
+  void applyTo(LikelihoodTuning& tuning) const;
+};
+
+/// Where `tuning = auto` looks for the profile: $SLIMCODEML_TUNING when
+/// set, else "slimcodeml.tuning" in the current directory.
+std::string defaultTuningProfilePath();
+
+}  // namespace slim::core

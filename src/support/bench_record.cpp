@@ -1,0 +1,39 @@
+#include "support/bench_record.hpp"
+
+#include <sstream>
+
+#include "linalg/simd.hpp"
+#include "support/atomic_file.hpp"
+#include "support/host_info.hpp"
+#include "support/json.hpp"
+
+namespace slim::support {
+
+std::string benchJson(std::span<const BenchEntry> entries) {
+  std::ostringstream os;
+  os << "{\"schema\":\"slimcodeml-bench-v1\",\"host\":{\"name\":";
+  jsonString(os, hostName());
+  os << ",\"hardwareThreads\":" << hardwareThreads() << ",\"simd\":";
+  jsonString(os, linalg::simdLevelName(linalg::detectSimdLevel()));
+  os << "},\"benchmarks\":{";
+  bool first = true;
+  for (const auto& e : entries) {
+    if (!first) os << ',';
+    first = false;
+    jsonString(os, e.name);
+    os << ":{\"real_time_ns\":";
+    jsonNumber(os, e.realTimeNs);
+    os << ",\"items_per_second\":";
+    jsonNumber(os, e.itemsPerSecond);
+    os << '}';
+  }
+  os << "}}\n";
+  return os.str();
+}
+
+void writeBenchFile(const std::string& path,
+                    std::span<const BenchEntry> entries) {
+  writeFileAtomic(path, benchJson(entries));
+}
+
+}  // namespace slim::support

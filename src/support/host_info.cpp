@@ -1,0 +1,30 @@
+#include "support/host_info.hpp"
+
+#include <thread>
+
+#if defined(_WIN32)
+#include <cstdlib>
+#else
+#include <unistd.h>
+#endif
+
+namespace slim::support {
+
+std::string hostName() {
+#if defined(_WIN32)
+  if (const char* env = std::getenv("COMPUTERNAME")) return env;
+  return "unknown";
+#else
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) != 0 || buf[0] == '\0')
+    return "unknown";
+  return buf;
+#endif
+}
+
+int hardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace slim::support

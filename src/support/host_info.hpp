@@ -1,0 +1,17 @@
+#pragma once
+// Host identification shared by the tuning profile and the BENCH_*.json
+// writers.  Benchmarks and per-host tuning profiles are only meaningful on
+// the machine that produced them, so both artifacts record — and the
+// consumers check — where they came from.
+
+#include <string>
+
+namespace slim::support {
+
+/// The machine's hostname ("unknown" when the platform call fails).
+std::string hostName();
+
+/// Hardware thread count (>= 1).
+int hardwareThreads();
+
+}  // namespace slim::support

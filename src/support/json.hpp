@@ -1,0 +1,48 @@
+#pragma once
+// Minimal JSON emission helpers shared by every structured-report writer
+// (core/report.cpp, valid/study.cpp, support/bench_record.cpp).  Emission
+// only — the project deliberately has no JSON *parser*; machine-readable
+// output is consumed by external tooling (CI scripts, notebooks).
+
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <string_view>
+
+namespace slim::support {
+
+/// Full-precision JSON number; non-finite doubles (legal in IEEE, illegal
+/// in JSON) become null.
+inline void jsonNumber(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  // defaultfloat guards against float-format state (std::fixed) left on a
+  // shared stream by a preceding text report.
+  os << std::defaultfloat
+     << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+}
+
+/// RFC 8259 string: quotes, backslashes and all control characters escaped.
+inline void jsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        else
+          os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace slim::support

@@ -1,0 +1,62 @@
+#pragma once
+// Host microbenchmark behind `slimcodeml-tune` (the build_resource_model
+// half of xblas's resource-model/predict split, PAPERS.md): measure the
+// likelihood engine's actual speed on THIS machine across the tuning axes
+// the engine exposes — SIMD kernel level x pattern-block size x thread
+// count, plus the batch scheduler's task-vs-pattern fan-out policy — and
+// distill the winners into a core::TuningProfile that `tuning = auto`
+// control files load at run time.
+//
+// The workload is a seeded synthetic branch-site gene (sim::makeSweepDataset
+// shape), so tuning runs are reproducible and need no user data.  Tuning
+// never changes results: every candidate configuration is bit-identical in
+// lnL by the engine's thread/block invariants, and SIMD levels agree with
+// scalar to <= 1e-10 relative — the profile trades nothing but speed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tuning_profile.hpp"
+
+namespace slim::tune {
+
+struct AutotuneOptions {
+  /// Shape of the synthetic microbenchmark gene.
+  int numSpecies = 12;
+  int numCodons = 160;
+  std::uint64_t seed = 20120521;
+  /// Worker-pool size to tune for (0: all hardware threads).
+  int threads = 0;
+  /// Timed evaluations per candidate; each candidate is measured `repeats`
+  /// times and the fastest pass wins (the standard microbenchmark guard
+  /// against one-off scheduling noise).
+  int evalsPerConfig = 3;
+  int repeats = 2;
+  /// Pattern-block sizes to sweep (0 = one block for all patterns).
+  std::vector<int> blockSizes = {16, 32, 64, 128, 0};
+  /// Also race the batch scheduler's TaskLevel vs PatternLevel fan-out on a
+  /// small multi-gene batch (skipped — left Auto — on a 1-worker pool,
+  /// where the policies are identical by construction).
+  bool tunePolicy = true;
+  int policyGenesPerWorker = 2;  ///< batch genes per worker in that race
+  int policyIterations = 2;      ///< fit iteration cap in that race
+};
+
+/// One timed candidate, for the tool's table and the BENCH_tune.json trail.
+struct AutotuneMeasurement {
+  std::string name;          ///< e.g. "eval/simd=avx2/block=64/threads=4"
+  double secondsPerUnit = 0; ///< per evaluation (eval/...) or per batch run
+};
+
+struct AutotuneResult {
+  core::TuningProfile profile;
+  std::vector<AutotuneMeasurement> measurements;  ///< in measurement order
+  double seconds = 0;  ///< total tuning wall clock
+};
+
+/// Run the full sweep.  Deterministic in its candidate set and workload;
+/// the *winners* of course depend on the host's actual timings.
+AutotuneResult autotune(const AutotuneOptions& options = {});
+
+}  // namespace slim::tune

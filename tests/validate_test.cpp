@@ -1,0 +1,227 @@
+// Simulation-validation studies (valid/study.hpp): the determinism contract
+// (a fixed-seed study is bit-identical across worker counts and parallel
+// policies, down to the report bytes), checkpointed studies resuming
+// mid-stream without changing a bit, and the report schema.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/config.hpp"
+#include "valid/study.hpp"
+
+namespace {
+
+using namespace slim;
+using core::ParallelPolicy;
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory (removed on destruction).
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag)
+      : path(fs::path(::testing::TempDir()) /
+             ("slim_valid_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string file(const std::string& name) const {
+    return (path / name).string();
+  }
+};
+
+/// A study small enough for unit tests: 2 scenarios x 2 replicates of
+/// 5-taxon, 30-codon genes, 3 optimizer iterations per fit.
+valid::StudySpec tinySpec() {
+  valid::StudySpec spec = valid::defaultStudySpec();
+  spec.replicates = 2;
+  spec.numSpecies = 5;
+  spec.numCodons = 30;
+  spec.seed = 20260807;
+  spec.fit.bfgs.maxIterations = 3;
+  return spec;
+}
+
+/// The statistical content two runs of one spec must share exactly
+/// (timings, counters and resume provenance legitimately differ).
+void expectSameStats(const valid::StudyResult& a, const valid::StudyResult& b,
+                     const std::string& label) {
+  ASSERT_EQ(a.table.size(), b.table.size()) << label;
+  for (std::size_t g = 0; g < a.table.size(); ++g) {
+    EXPECT_EQ(a.table[g].scenario, b.table[g].scenario) << label;
+    EXPECT_EQ(a.table[g].seed, b.table[g].seed) << label;
+    EXPECT_EQ(a.table[g].lnL0, b.table[g].lnL0) << label << " gene " << g;
+    EXPECT_EQ(a.table[g].lnL1, b.table[g].lnL1) << label << " gene " << g;
+    EXPECT_EQ(a.table[g].statistic, b.table[g].statistic) << label;
+    EXPECT_EQ(a.table[g].pChi2, b.table[g].pChi2) << label;
+    EXPECT_EQ(a.table[g].pMixture, b.table[g].pMixture) << label;
+  }
+  ASSERT_EQ(a.summaries.size(), b.summaries.size()) << label;
+  for (std::size_t s = 0; s < a.summaries.size(); ++s)
+    EXPECT_EQ(a.summaries[s].rejections, b.summaries[s].rejections) << label;
+  EXPECT_EQ(a.auc, b.auc) << label;
+}
+
+// ---------- simulation plumbing ----------
+
+TEST(StudySimulation, ReplicateSeedsAreIndexDerivedAndDistinct) {
+  // Pure function of the indices...
+  EXPECT_EQ(valid::replicateSeed(7, 1, 3), valid::replicateSeed(7, 1, 3));
+  // ...and distinct across scenario/replicate for study-sized index ranges.
+  EXPECT_NE(valid::replicateSeed(7, 0, 0), valid::replicateSeed(7, 0, 1));
+  EXPECT_NE(valid::replicateSeed(7, 0, 0), valid::replicateSeed(7, 1, 0));
+}
+
+TEST(StudySimulation, GenesAreReproducibleAndLabeled) {
+  const valid::StudySpec spec = tinySpec();
+  const valid::SimulatedGene a = valid::simulateGene(spec, 1, 0);
+  const valid::SimulatedGene b = valid::simulateGene(spec, 1, 0);
+  EXPECT_EQ(a.name, "positive-r0");
+  EXPECT_EQ(a.codons.names, b.codons.names);
+  EXPECT_EQ(a.codons.states, b.codons.states);
+  EXPECT_GT(a.codons.numSites(), 0u);
+}
+
+// ---------- the determinism contract ----------
+
+TEST(Study, BitIdenticalAcrossThreadCountsAndPolicies) {
+  const valid::StudySpec base = tinySpec();
+  const valid::StudyResult reference = valid::runStudy(base);
+  ASSERT_EQ(reference.table.size(), 4u);
+  const std::string referenceReport =
+      valid::studyReportJson(base, reference, /*includeRunInfo=*/false);
+  EXPECT_NE(referenceReport.find("slimcodeml-validate-v1"),
+            std::string::npos);
+
+  struct Cell {
+    int threads;
+    ParallelPolicy policy;
+  };
+  for (const Cell cell : {Cell{2, ParallelPolicy::Auto},
+                          Cell{2, ParallelPolicy::TaskLevel},
+                          Cell{2, ParallelPolicy::PatternLevel},
+                          Cell{8, ParallelPolicy::Auto}}) {
+    valid::StudySpec spec = tinySpec();
+    spec.fit.tuning.numThreads = cell.threads;
+    spec.fit.tuning.policy = cell.policy;
+    const valid::StudyResult result = valid::runStudy(spec);
+    const std::string label = std::to_string(cell.threads) + " threads, " +
+                              core::parallelPolicyName(cell.policy);
+    expectSameStats(reference, result, label);
+    // The whole report body — spec, summaries, every replicate row, the
+    // ROC, the AUC — is byte-identical.
+    EXPECT_EQ(valid::studyReportJson(spec, result, false), referenceReport)
+        << label;
+  }
+}
+
+// ---------- report schema ----------
+
+TEST(StudyReport, CarriesTheStableSchema) {
+  const valid::StudySpec spec = tinySpec();
+  const valid::StudyResult result = valid::runStudy(spec);
+  const std::string report = valid::studyReportJson(spec, result);
+  for (const char* needle :
+       {"\"schema\": \"slimcodeml-validate-v1\"", "\"scenarios\":",
+        "\"replicates\":", "\"roc\":", "\"auc\":", "\"rejections\":",
+        "\"pChi2\":", "\"batch\":"})
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  // The run-info block is exactly what --stable removes.
+  const std::string stable = valid::studyReportJson(spec, result, false);
+  EXPECT_EQ(stable.find("\"batch\":"), std::string::npos);
+}
+
+// ---------- checkpointed studies ----------
+
+TEST(StudyCheckpoint, HashCoversTruthButNotWorkerCount) {
+  const valid::StudySpec base = tinySpec();
+  valid::StudySpec moreThreads = base;
+  moreThreads.fit.tuning.numThreads = 8;
+  moreThreads.fit.tuning.policy = ParallelPolicy::TaskLevel;
+  // Bit-neutral knobs must not invalidate a checkpoint...
+  EXPECT_EQ(valid::studyConfigHash(base), valid::studyConfigHash(moreThreads));
+  // ...anything shaping the data or the trajectory must.
+  valid::StudySpec otherSeed = base;
+  otherSeed.seed += 1;
+  EXPECT_NE(valid::studyConfigHash(base), valid::studyConfigHash(otherSeed));
+  valid::StudySpec otherTruth = base;
+  for (auto& s : otherTruth.scenarios)
+    if (s.positive) s.params.omega2 = 9.0;
+  EXPECT_NE(valid::studyConfigHash(base), valid::studyConfigHash(otherTruth));
+}
+
+TEST(StudyCheckpoint, KilledMidStudyThenResumedMatchesUninterruptedExactly) {
+  const TempDir dir("resume");
+  const std::string ckpt = dir.file("study.ckpt");
+  const valid::StudySpec base = tinySpec();
+  const std::uint64_t hash = valid::studyConfigHash(base);
+
+  // The uninterrupted reference.
+  const valid::StudyResult reference = valid::runStudy(base);
+
+  // A full checkpointed run, persisted on every iteration...
+  {
+    valid::StudySpec spec = base;
+    const auto manager =
+        core::CheckpointManager::open(ckpt, 0, hash, /*resume=*/false);
+    spec.checkpoint = manager.get();
+    expectSameStats(reference, valid::runStudy(spec), "checkpointed");
+  }
+
+  // ...then simulate a mid-study kill: strip half the completed fits from
+  // the file, exactly the state a SIGKILL between persists leaves behind.
+  {
+    core::Checkpoint image = core::Checkpoint::load(ckpt);
+    ASSERT_EQ(image.completed.size(), 8u);  // 4 genes x H0/H1
+    auto it = image.completed.begin();
+    for (int drop = 0; drop < 4; ++drop) it = image.completed.erase(it);
+    image.save(ckpt);
+  }
+
+  // Resume: the surviving half is restored, the dropped half recomputed —
+  // and every statistic matches the uninterrupted run exactly.
+  {
+    valid::StudySpec spec = base;
+    const auto manager =
+        core::CheckpointManager::open(ckpt, 0, hash, /*resume=*/true);
+    ASSERT_TRUE(manager->resumedFromFile());
+    spec.checkpoint = manager.get();
+    const valid::StudyResult resumed = valid::runStudy(spec);
+    expectSameStats(reference, resumed, "resumed");
+    // Restored fits carry resume provenance; recomputed ones do not.
+    int restored = 0;
+    for (const auto& test : resumed.tests)
+      restored += !test.h0.resumedFrom.empty() + !test.h1.resumedFrom.empty();
+    EXPECT_EQ(restored, 4);
+  }
+
+  // A second resume finds everything complete: all fits are restored, no
+  // optimizer work is redone.
+  {
+    valid::StudySpec spec = base;
+    const auto manager =
+        core::CheckpointManager::open(ckpt, 0, hash, /*resume=*/true);
+    spec.checkpoint = manager.get();
+    const valid::StudyResult replayed = valid::runStudy(spec);
+    expectSameStats(reference, replayed, "replayed");
+    for (const auto& test : replayed.tests) {
+      EXPECT_EQ(test.h0.resumedFrom, ckpt);
+      EXPECT_EQ(test.h1.resumedFrom, ckpt);
+    }
+  }
+
+  // A different study refuses the checkpoint outright.
+  valid::StudySpec other = base;
+  other.seed += 1;
+  EXPECT_THROW(core::CheckpointManager::open(
+                   ckpt, 0, valid::studyConfigHash(other), /*resume=*/true),
+               core::ConfigError);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// slimcodeml-tune: microbenchmark this host and persist a tuning profile.
+//
+//   slimcodeml_tune [options]
+//
+// Sweeps SIMD level x block size x thread count on a seeded synthetic gene
+// (plus a task-vs-pattern batch fan-out race), prints the measurement
+// table, and writes the winning configuration to a per-host tuning profile
+// that `tuning = auto` control files load at run time (see
+// src/core/tuning_profile.hpp).  Tuning affects speed only — every
+// candidate is bit- or near-bit-identical in likelihood by the engine's
+// invariants.
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/bench_record.hpp"
+#include "tune/autotune.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: slimcodeml_tune [options]
+
+Options (defaults in brackets):
+  --out PATH     tuning profile destination [$SLIMCODEML_TUNING or
+                 ./slimcodeml.tuning]
+  --bench PATH   also write a BENCH_*.json record of every measurement
+  --species N    microbenchmark gene: taxa [12]
+  --codons N     microbenchmark gene: codon columns [160]
+  --seed S       microbenchmark gene seed [20120521]
+  --threads N    thread count to tune for (0: all hardware threads) [0]
+  --evals N      timed evaluations per candidate [3]
+  --repeats N    best-of repeats per candidate [2]
+)";
+
+int parseInt(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (*text == '\0' || *end != '\0') {
+    std::cerr << "slimcodeml_tune: error: " << flag
+              << " needs an integer, got '" << text << "'\n";
+    std::exit(1);
+  }
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace slim;
+
+  tune::AutotuneOptions options;
+  std::string outPath = core::defaultTuningProfilePath();
+  std::string benchPath;
+
+  const auto needValue = [&](int i) {
+    if (i + 1 >= argc) {
+      std::cerr << "slimcodeml_tune: error: " << argv[i] << " needs a value\n";
+      std::exit(1);
+    }
+    return argv[i + 1];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cerr << kUsage;
+      return 0;
+    } else if (arg == "--out") {
+      outPath = needValue(i++);
+    } else if (arg == "--bench") {
+      benchPath = needValue(i++);
+    } else if (arg == "--species") {
+      options.numSpecies = parseInt(arg, needValue(i++));
+    } else if (arg == "--codons") {
+      options.numCodons = parseInt(arg, needValue(i++));
+    } else if (arg == "--seed") {
+      options.seed = static_cast<std::uint64_t>(
+          std::strtoull(needValue(i++), nullptr, 10));
+    } else if (arg == "--threads") {
+      options.threads = parseInt(arg, needValue(i++));
+    } else if (arg == "--evals") {
+      options.evalsPerConfig = parseInt(arg, needValue(i++));
+    } else if (arg == "--repeats") {
+      options.repeats = parseInt(arg, needValue(i++));
+    } else {
+      std::cerr << kUsage;
+      return 1;
+    }
+  }
+
+  try {
+    const tune::AutotuneResult result = tune::autotune(options);
+
+    std::cerr << std::left << std::setw(44) << "candidate" << "s/unit\n";
+    for (const auto& m : result.measurements)
+      std::cerr << std::left << std::setw(44) << m.name << std::scientific
+                << std::setprecision(3) << m.secondsPerUnit << '\n';
+
+    const core::TuningProfile& p = result.profile;
+    std::cerr << "\nwinner: simd=" << linalg::simdModeName(p.simd)
+              << " blockSize=" << p.blockSize << " threads=" << p.numThreads
+              << " parallel=" << core::parallelPolicyName(p.policy) << " ("
+              << std::scientific << std::setprecision(3) << p.secondsPerEval
+              << " s/eval; tuned in " << std::fixed << std::setprecision(1)
+              << result.seconds << " s)\n";
+
+    p.save(outPath);
+    std::cerr << "wrote " << outPath << '\n';
+
+    if (!benchPath.empty()) {
+      std::vector<support::BenchEntry> entries;
+      entries.reserve(result.measurements.size());
+      for (const auto& m : result.measurements)
+        entries.push_back({"tune/" + m.name, m.secondsPerUnit * 1e9,
+                           m.secondsPerUnit > 0 ? 1.0 / m.secondsPerUnit
+                                                : 0.0});
+      support::writeBenchFile(benchPath, entries);
+      std::cerr << "wrote " << benchPath << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "slimcodeml_tune: error: " << e.what() << '\n';
+    return 1;
+  }
+}
