@@ -41,6 +41,18 @@ GeneHandle BatchAnalysis::addGene(const seqio::CodonAlignment& alignment,
   return gene;
 }
 
+GeneHandle BatchAnalysis::addGene(std::shared_ptr<const AnalysisContext> context,
+                                  std::string name) {
+  SLIM_REQUIRE(context != nullptr, "BatchAnalysis: null context");
+  SLIM_REQUIRE(context->engine() == engine_,
+               "BatchAnalysis: context engine does not match the batch engine");
+  const auto gene = static_cast<GeneHandle>(contexts_.size());
+  contexts_.push_back(std::move(context));
+  names_.push_back(name.empty() ? "gene" + std::to_string(gene)
+                                : std::move(name));
+  return gene;
+}
+
 std::vector<PositiveSelectionTest> BatchAnalysis::runAll() {
   const auto t0 = std::chrono::steady_clock::now();
   const int n = static_cast<int>(contexts_.size());
@@ -90,7 +102,13 @@ std::vector<PositiveSelectionTest> BatchAnalysis::runAll() {
     fits[t] = fitHypothesis(ctx, h, ctx.options(), lk,
                             ctx.cacheShard(AnalysisContext::shardSlot(h)),
                             &hooks);
-    ckpt->recordCompleted(key, fits[t]);
+    // A cancelled fit is an *interrupted* trajectory, not a finished one —
+    // recording it complete would make a later resume skip the rest of the
+    // optimization.  Flush instead so the last in-flight snapshot is on disk.
+    if (fits[t].cancelled)
+      ckpt->flush();
+    else
+      ckpt->recordCompleted(key, fits[t]);
   });
 
   // Phase 2: the N site scans at the H1 maxima, each warm-starting from its
@@ -99,6 +117,9 @@ std::vector<PositiveSelectionTest> BatchAnalysis::runAll() {
   std::vector<lik::SiteClassPosteriors> posteriors(n);
   std::vector<lik::EvalCounters> scanCounters(n);
   scheduler.run(n, policy, [&](int g) {
+    // No scan for a cancelled H1 fit: posteriors at a truncated point are
+    // not meaningful, and skipping them lets SIGTERM/drain exit promptly.
+    if (fits[2 * g + 1].cancelled) return;
     const auto& ctx = *contexts_[g];
     lik::LikelihoodOptions lk = ctx.likelihoodOptions();
     lk.numThreads = scanThreads;

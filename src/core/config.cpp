@@ -12,6 +12,7 @@
 #include "core/checkpoint.hpp"
 #include "core/tuning_profile.hpp"
 #include "core/report.hpp"
+#include "opt/cancel.hpp"
 #include "support/atomic_file.hpp"
 #include "support/require.hpp"
 
@@ -179,6 +180,9 @@ Config Config::parse(std::istream& in) {
       cfg.checkpointEverySec = parseDouble(key, value, lineNo);
       if (cfg.checkpointEverySec < 0)
         badLine(lineNo, "checkpointEverySec must be >= 0");
+    } else if (key == "timeoutSec") {
+      cfg.timeoutSec = parseDouble(key, value, lineNo);
+      if (cfg.timeoutSec < 0) badLine(lineNo, "timeoutSec must be >= 0");
     } else if (key == "seed") {
       const double s = parseDouble(key, value, lineNo);
       // Integral and strictly below 2^64, so the cast is defined behaviour.
@@ -207,10 +211,8 @@ Config Config::parseFile(const std::string& path) {
   return parse(in);
 }
 
-namespace {
-
-seqio::CodonAlignment loadAlignment(const std::string& path,
-                                    bool stopCodonsAsMissing) {
+seqio::CodonAlignment loadAlignmentFile(const std::string& path,
+                                        bool stopCodonsAsMissing) {
   std::ifstream seqIn(path);
   SLIM_REQUIRE(seqIn.good(), "cannot open sequence file '" + path + "'");
   // FASTA if the first non-blank character is '>', else sequential PHYLIP.
@@ -224,13 +226,22 @@ seqio::CodonAlignment loadAlignment(const std::string& path,
                              stopCodonsAsMissing);
 }
 
-tree::Tree loadTree(const std::string& path) {
+tree::Tree loadTreeFile(const std::string& path) {
   std::ifstream treeIn(path);
   SLIM_REQUIRE(treeIn.good(), "cannot open tree file '" + path + "'");
   std::stringstream treeText;
   treeText << treeIn.rdbuf();
   return tree::Tree::parseNewick(treeText.str());
 }
+
+namespace {
+
+seqio::CodonAlignment loadAlignment(const std::string& path,
+                                    bool stopCodonsAsMissing) {
+  return loadAlignmentFile(path, stopCodonsAsMissing);
+}
+
+tree::Tree loadTree(const std::string& path) { return loadTreeFile(path); }
 
 struct LoadedInputs {
   seqio::CodonAlignment codons;
@@ -262,6 +273,16 @@ void emitReport(const Config& config, const WriteReport& write) {
     write(buffer);
     support::writeFileAtomic(config.outfile, buffer.str());
   }
+}
+
+/// `timeoutSec =`: arm a wall-clock deadline (measured from here, i.e. the
+/// start of the run) on top of any cancel source the caller already
+/// installed — the CLI's SIGTERM flag, a daemon job's cancel token.
+Config applyRunDeadline(Config config) {
+  if (config.timeoutSec > 0)
+    config.fit.bfgs.cancel = opt::combineCancel(
+        std::move(config.fit.bfgs.cancel), opt::deadlineAfter(config.timeoutSec));
+  return config;
 }
 
 /// The checkpoint coordinator for this run, or null when the config does
@@ -317,7 +338,7 @@ std::vector<std::string> scanBatchDirectory(const std::string& dir) {
 }
 
 PositiveSelectionTest runFromConfig(const Config& rawConfig) {
-  const Config config = resolveTuningProfile(rawConfig);
+  const Config config = applyRunDeadline(resolveTuningProfile(rawConfig));
   SLIM_REQUIRE(config.analysis == AnalysisKind::BranchSite,
                "runFromConfig: control file requests 'model = site'");
   const auto in = loadInputs(config);
@@ -343,7 +364,7 @@ PositiveSelectionTest runFromConfig(const Config& rawConfig) {
 }
 
 BatchRunOutput runBatchFromConfig(const Config& rawConfig) {
-  const Config config = resolveTuningProfile(rawConfig);
+  const Config config = applyRunDeadline(resolveTuningProfile(rawConfig));
   SLIM_REQUIRE(config.analysis == AnalysisKind::BranchSite,
                "runBatchFromConfig: control file requests 'model = site'");
   SLIM_REQUIRE(!config.seqfiles.empty(), "runBatchFromConfig: no seqfiles");
@@ -381,7 +402,7 @@ BatchRunOutput runBatchFromConfig(const Config& rawConfig) {
 }
 
 SiteModelTest runSiteModelFromConfig(const Config& rawConfig) {
-  const Config config = resolveTuningProfile(rawConfig);
+  const Config config = applyRunDeadline(resolveTuningProfile(rawConfig));
   SLIM_REQUIRE(config.analysis == AnalysisKind::Site,
                "runSiteModelFromConfig: control file requests branch-site");
   SLIM_REQUIRE(config.checkpointPath.empty() && !config.resume,

@@ -26,6 +26,10 @@
 //     cleandata = 0                * 1: treat stop codons as missing
 //     checkpoint = run.ckpt        * snapshot long fits to this file
 //     checkpointEverySec = 30      * write throttle (0: every iteration)
+//     timeoutSec = 0               * wall-clock budget for the whole run
+//                                  * (0: none); expired fits stop cleanly at
+//                                  * the last accepted point, marked
+//                                  * cancelled in the report
 //     tuning = auto                * per-host autotuning profile: 'auto'
 //                                  * ($SLIMCODEML_TUNING or slimcodeml.tuning,
 //                                  * skipped when absent) or an explicit path
@@ -80,6 +84,13 @@ struct Config {
   std::string checkpointPath;
   /// Seconds between checkpoint writes (0: write on every iteration).
   double checkpointEverySec = 30.0;
+  /// Wall-clock budget for the whole run, in seconds (0: unlimited).  The
+  /// runners compose a deadline onto fit.bfgs.cancel: fits past the budget
+  /// stop cleanly at the last accepted point and are reported cancelled.
+  /// Like the cancel predicate itself, deliberately excluded from
+  /// checkpointConfigHash — a timeout truncates a trajectory, never alters
+  /// it, so a resumed run may continue under a different budget.
+  double timeoutSec = 0;
   /// Set by the CLI's --resume flag: load checkpointPath (if it exists) and
   /// continue — completed fits are skipped, in-flight ones continue their
   /// recorded trajectory.  Version/config-hash mismatches refuse loudly.
@@ -105,6 +116,15 @@ struct Config {
 /// Throws ConfigError on a corrupt, version-mismatched or foreign-host
 /// profile (see core/tuning_profile.hpp).
 Config resolveTuningProfile(Config config);
+
+/// Load one alignment file: FASTA when the first non-blank character is
+/// '>', else sequential PHYLIP; codon-encoded with the universal code.
+/// Shared by the config runners and the serve-mode context cache.
+seqio::CodonAlignment loadAlignmentFile(const std::string& path,
+                                        bool stopCodonsAsMissing);
+
+/// Load and parse a Newick tree file.
+tree::Tree loadTreeFile(const std::string& path);
 
 /// Load the alignment (FASTA when the first non-blank char is '>', else
 /// sequential PHYLIP) and tree named by the config, run the full H0/H1

@@ -42,6 +42,20 @@ std::shared_ptr<const AnalysisContext> AnalysisContext::create(
       std::move(alignment), std::move(tree), engine, std::move(options));
 }
 
+std::shared_ptr<const AnalysisContext> AnalysisContext::withOptions(
+    FitOptions options, bool sharePropagatorCache) const {
+  SLIM_REQUIRE(options.frequencyModel == options_.frequencyModel,
+               "AnalysisContext::withOptions: frequency model must match the "
+               "original (pi would be stale)");
+  // Member-wise copy deliberately skips the pattern compression and frequency
+  // estimation the public constructor performs — that reuse is the point.
+  auto clone = std::make_shared<AnalysisContext>(*this);
+  clone->options_ = std::move(options);
+  if (!sharePropagatorCache)
+    clone->cache_ = std::make_shared<lik::SharedPropagatorCache>();
+  return clone;
+}
+
 namespace {
 
 /// Packing/unpacking of the optimization vector:
@@ -189,6 +203,8 @@ FitResult fitHypothesis(const AnalysisContext& context, Hypothesis hypothesis,
   r.gradientMode = mode;
   r.simd = eval.simdLevel();
   r.converged = bfgsResult.converged;
+  r.cancelled = bfgsResult.cancelled;
+  r.message = bfgsResult.message;
   r.counters = objective.counters();
   if (resumeState != nullptr) {
     r.resumedFrom = checkpoint->resumedFromPath;

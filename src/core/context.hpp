@@ -68,6 +68,12 @@ struct FitResult {
   /// The SIMD kernel level the evaluator resolved `simd =` to.
   linalg::SimdLevel simd = linalg::SimdLevel::Scalar;
   bool converged = false;
+  /// True when a cancel predicate (deadline, SIGTERM, daemon cancel) stopped
+  /// the optimizer; lnL/params hold the last accepted point.
+  bool cancelled = false;
+  /// The optimizer's stop reason ("gradient tolerance reached",
+  /// "cancelled", ...).
+  std::string message;
   double seconds = 0;
   lik::EvalCounters counters;
   /// Resume provenance: the checkpoint file this fit continued from (empty
@@ -143,6 +149,18 @@ class AnalysisContext {
 
   /// Total propagators currently cached across all shards (diagnostics).
   std::size_t cachedPropagators() const { return cache_->totalEntries(); }
+
+  /// Cheap clone carrying different fit options: shares the parsed tree and
+  /// — when `sharePropagatorCache` — the warm propagator-cache directory,
+  /// while alignment/patterns/pi are copied as-is (no re-parsing, no
+  /// recompression).  This is how the serve-mode context cache reuses one
+  /// gene's hot state across jobs whose optimizer settings differ.  The new
+  /// options must keep the frequency model (pi would be stale otherwise).
+  /// Callers sharing the cache must not run two fits on the same shard slot
+  /// concurrently — lease a private clone (sharePropagatorCache = false)
+  /// for overlapping jobs.
+  std::shared_ptr<const AnalysisContext> withOptions(
+      FitOptions options, bool sharePropagatorCache = true) const;
 
   AnalysisContext(seqio::CodonAlignment alignment,
                   std::shared_ptr<const tree::Tree> tree, EngineKind engine,

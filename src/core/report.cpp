@@ -24,7 +24,10 @@ void writeFitReport(std::ostream& os, const FitResult& fit) {
      << ", function evaluations = " << fit.functionEvaluations << " + "
      << fit.gradientEvaluations << " gradient ("
      << gradientModeName(fit.gradientMode) << ')'
-     << (fit.converged ? " (converged)" : " (iteration cap reached)") << '\n'
+     << (fit.cancelled
+             ? " (cancelled)"
+             : fit.converged ? " (converged)" : " (iteration cap reached)")
+     << '\n'
      << "    wall time = " << std::setprecision(3) << fit.seconds
      << " s, simd = " << linalg::simdLevelName(fit.simd) << '\n';
   if (!fit.resumedFrom.empty())
@@ -180,8 +183,11 @@ void jsonFit(std::ostream& os, const FitResult& fit) {
   jsonString(os, gradientModeName(fit.gradientMode));
   os << ",\"simd\":";
   jsonString(os, linalg::simdLevelName(fit.simd));
-  os << ",\"converged\":" << (fit.converged ? "true" : "false")
-     << ",\"seconds\":";
+  os << ",\"converged\":" << (fit.converged ? "true" : "false");
+  // Only cancelled fits carry the flag, keeping untouched runs' JSON
+  // byte-identical to what earlier versions emitted.
+  if (fit.cancelled) os << ",\"cancelled\":true";
+  os << ",\"seconds\":";
   jsonNumber(os, fit.seconds);
   if (!fit.resumedFrom.empty()) {
     os << ",\"resumedFrom\":";

@@ -46,6 +46,18 @@ BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
     res.analyticCoordinates = gr.analyticCoordinates;
   };
 
+  // Cancellation is polled only at iteration boundaries — exactly the points
+  // where checkpoint snapshots are taken — so a cancelled fit stops at a
+  // state a resume can continue bit-identically.
+  const auto cancelRequested = [&] {
+    return options.cancel && options.cancel();
+  };
+  const auto stopCancelled = [&]() -> BfgsResult& {
+    res.cancelled = true;
+    res.message = "cancelled";
+    return res;
+  };
+
   int slowProgress = 0;
   int startIteration = 0;
 
@@ -89,6 +101,11 @@ BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
     // Inverse Hessian approximation, initialized to the identity.
     for (std::size_t i = 0; i < n; ++i) hInv[i * n + i] = 1.0;
 
+    // An already-cancelled fit (e.g. SIGTERM landed during an earlier gene)
+    // pays one evaluation so the result still carries a meaningful value,
+    // then stops before the comparatively expensive first gradient.
+    if (cancelRequested()) return stopCancelled();
+
     gradientAt(res.x, res.value, grad);
     if (!allFinite(grad)) {
       res.message = "gradient not finite at the starting point";
@@ -115,6 +132,7 @@ BfgsResult minimizeBfgs(ObjectiveFunction& f, std::span<const double> x0,
 
   for (res.iterations = startIteration; res.iterations < options.maxIterations;
        ++res.iterations) {
+    if (cancelRequested()) return stopCancelled();
     if (infNorm(grad) < options.gradTolerance * (1.0 + std::fabs(res.value))) {
       res.converged = true;
       res.message = "gradient tolerance reached";

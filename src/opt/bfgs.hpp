@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "opt/cancel.hpp"
 #include "opt/checkpoint.hpp"
 #include "opt/objective.hpp"
 
@@ -46,6 +47,11 @@ struct BfgsOptions {
   bool centralDifferences = false;
   int maxLineSearchSteps = 40;
   double armijoC1 = 1e-4;
+  /// Polled at iteration boundaries (the checkpoint snapshot points); when it
+  /// returns true the fit stops cleanly at the last accepted point with
+  /// message "cancelled".  Deliberately excluded from checkpointConfigHash:
+  /// cancellation truncates a trajectory, it never alters one.
+  CancelPredicate cancel;
 };
 
 struct BfgsResult {
@@ -62,6 +68,9 @@ struct BfgsResult {
   /// Coordinates of the last gradient that carried analytic derivatives.
   int analyticCoordinates = 0;
   bool converged = false;
+  /// True when BfgsOptions::cancel stopped the fit; `x`/`value` hold the last
+  /// accepted point and `message` is "cancelled".
+  bool cancelled = false;
   std::string message;
 };
 

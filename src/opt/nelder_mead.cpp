@@ -194,6 +194,13 @@ NelderMeadResult minimizeNelderMead(ObjectiveFunction& f,
 
   for (res.iterations = startIteration; res.iterations < options.maxIterations;
        ++res.iterations) {
+    // Same boundary the snapshot uses, so a cancelled fit stops at a state a
+    // resume can continue bit-identically.
+    if (options.cancel && options.cancel()) {
+      res.cancelled = true;
+      res.message = "cancelled";
+      break;
+    }
     if (step()) break;
     snapshot(res.iterations + 1);
   }

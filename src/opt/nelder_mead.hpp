@@ -17,6 +17,9 @@
 // the values exactly as the sequential algorithm would, so the trajectory
 // is unchanged either way.
 
+#include <string>
+
+#include "opt/cancel.hpp"
 #include "opt/checkpoint.hpp"
 #include "opt/objective.hpp"
 
@@ -27,6 +30,9 @@ struct NelderMeadOptions {
   double initialStep = 0.5;        ///< Per-coordinate initial simplex offset.
   double fTolerance = 1e-10;       ///< Stop when spread(f) < fTol*(1+|best|).
   double xTolerance = 1e-9;        ///< ... and simplex diameter below this.
+  /// Polled at iteration boundaries (the checkpoint snapshot points); see
+  /// BfgsOptions::cancel for the contract.
+  CancelPredicate cancel;
 };
 
 struct NelderMeadResult {
@@ -35,6 +41,10 @@ struct NelderMeadResult {
   int iterations = 0;
   long functionEvaluations = 0;
   bool converged = false;
+  /// True when NelderMeadOptions::cancel stopped the fit; `x`/`value` hold
+  /// the best simplex vertex at that point and `message` is "cancelled".
+  bool cancelled = false;
+  std::string message;
 };
 
 /// Minimize f from x0.  The objective may return +inf/NaN for infeasible

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal blocking client for the slimcodeml-serve-v1 protocol: one UNIX
+// stream connection, one JSON line out, one JSON line back.  Used by the
+// `slimcodeml_client` tool and by serve_test; kept in the library so tests
+// exercise exactly the code the tool ships.
+
+#include <string>
+
+#include "support/json_parse.hpp"
+
+namespace slim::serve {
+
+class Client {
+ public:
+  /// Connects immediately; throws std::runtime_error when the daemon is not
+  /// listening on `socketPath`.
+  explicit Client(std::string socketPath);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request line (newline appended here) and block for the
+  /// daemon's one-line response, parsed as JSON.  Throws on connection loss
+  /// or a response that fails to parse.  The same connection serves any
+  /// number of sequential calls.
+  support::JsonValue call(const std::string& requestLine);
+
+  const std::string& socketPath() const noexcept { return socketPath_; }
+
+ private:
+  std::string socketPath_;
+  int fd_ = -1;
+  std::string buffer_;  ///< Bytes past the last consumed newline.
+};
+
+}  // namespace slim::serve

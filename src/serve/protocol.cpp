@@ -1,0 +1,138 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+#include "support/json_parse.hpp"
+
+namespace slim::serve {
+
+using support::JsonValue;
+
+const char* opName(Op op) noexcept {
+  switch (op) {
+    case Op::Ping: return "ping";
+    case Op::Status: return "status";
+    case Op::Submit: return "submit";
+    case Op::Result: return "result";
+    case Op::Cancel: return "cancel";
+    case Op::Drain: return "drain";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) { throw ProtocolError(what); }
+
+const std::string& stringField(const JsonValue& obj, const char* key) {
+  const JsonValue& v = obj.at(key);
+  if (!v.isString()) bad(std::string("field \"") + key + "\" must be a string");
+  return v.asString();
+}
+
+bool boolField(const JsonValue& v, const char* key) {
+  if (!v.isBool()) bad(std::string("field \"") + key + "\" must be a boolean");
+  return v.asBool();
+}
+
+double numberField(const JsonValue& v, const char* key) {
+  if (!v.isNumber()) bad(std::string("field \"") + key + "\" must be a number");
+  return v.asNumber();
+}
+
+bool knownField(std::string_view key, std::initializer_list<const char*> known) {
+  for (const char* k : known)
+    if (key == k) return true;
+  return false;
+}
+
+}  // namespace
+
+Request parseRequest(std::string_view line) {
+  const JsonValue doc = support::parseJson(line);
+  if (!doc.isObject()) bad("request must be a JSON object");
+
+  // Optional schema pin: when a client sends one, it must be ours.
+  if (const JsonValue* schema = doc.find("schema")) {
+    if (!schema->isString() || schema->asString() != kServeSchema)
+      bad("unsupported schema (this daemon speaks \"" +
+          std::string(kServeSchema) + "\")");
+  }
+
+  const std::string& opString = stringField(doc, "op");
+  Request req;
+  if (opString == "ping")
+    req.op = Op::Ping;
+  else if (opString == "status")
+    req.op = Op::Status;
+  else if (opString == "submit")
+    req.op = Op::Submit;
+  else if (opString == "result")
+    req.op = Op::Result;
+  else if (opString == "cancel")
+    req.op = Op::Cancel;
+  else if (opString == "drain")
+    req.op = Op::Drain;
+  else
+    bad("unknown op \"" + opString + "\"");
+
+  // Per-op field whitelist; anything else is a keyed error so a client typo
+  // ("priorty") fails loudly instead of silently running with defaults.
+  for (const auto& [key, value] : doc.asObject()) {
+    if (key == "schema" || key == "op") continue;
+    switch (req.op) {
+      case Op::Ping:
+      case Op::Drain:
+        bad("op \"" + std::string(opName(req.op)) +
+            "\" accepts no field \"" + key + "\"");
+      case Op::Status:
+        if (!knownField(key, {"id"}))
+          bad("unknown field \"" + key + "\" for op \"status\"");
+        break;
+      case Op::Submit:
+        if (!knownField(key, {"ctl", "priority", "timeoutSec", "checkpoint"}))
+          bad("unknown field \"" + key + "\" for op \"submit\"");
+        break;
+      case Op::Result:
+        if (!knownField(key, {"id", "wait"}))
+          bad("unknown field \"" + key + "\" for op \"result\"");
+        break;
+      case Op::Cancel:
+        if (!knownField(key, {"id"}))
+          bad("unknown field \"" + key + "\" for op \"cancel\"");
+        break;
+    }
+    if (key == "id") {
+      if (!value.isString()) bad("field \"id\" must be a string");
+      req.id = value.asString();
+      if (req.id.empty()) bad("field \"id\" must not be empty");
+    } else if (key == "ctl") {
+      if (!value.isString()) bad("field \"ctl\" must be a string");
+      req.ctl = value.asString();
+      if (req.ctl.empty()) bad("field \"ctl\" must not be empty");
+    } else if (key == "priority") {
+      const double p = numberField(value, "priority");
+      if (std::floor(p) != p || p < kMinPriority || p > kMaxPriority)
+        bad("field \"priority\" must be an integer in [" +
+            std::to_string(kMinPriority) + ", " + std::to_string(kMaxPriority) +
+            "]");
+      req.priority = static_cast<int>(p);
+    } else if (key == "timeoutSec") {
+      const double t = numberField(value, "timeoutSec");
+      if (!(t >= 0)) bad("field \"timeoutSec\" must be >= 0");
+      req.timeoutSec = t;
+    } else if (key == "checkpoint") {
+      req.checkpoint = boolField(value, "checkpoint");
+    } else if (key == "wait") {
+      req.wait = boolField(value, "wait");
+    }
+  }
+
+  if ((req.op == Op::Result || req.op == Op::Cancel) && req.id.empty())
+    bad("op \"" + std::string(opName(req.op)) + "\" requires field \"id\"");
+  if (req.op == Op::Submit && req.ctl.empty())
+    bad("op \"submit\" requires field \"ctl\"");
+  return req;
+}
+
+}  // namespace slim::serve

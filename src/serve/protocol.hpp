@@ -1,0 +1,60 @@
+#pragma once
+// The slimcodeml-serve-v1 wire protocol (see docs/protocol.md).
+//
+// Transport: a local stream socket carrying newline-delimited JSON — one
+// request object per line, one response object per line.  Requests are
+// untrusted input: parsing is strict (support/json_parse.hpp), every field
+// is validated by name and type, and unknown ops/fields are keyed errors,
+// never silently ignored.  Responses always carry
+// {"schema":"slimcodeml-serve-v1","ok":true|false,...}; job results embed
+// the existing `--json` report schema verbatim as the result payload.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace slim::serve {
+
+inline constexpr std::string_view kServeSchema = "slimcodeml-serve-v1";
+
+/// Hard cap on one request line (admission control; oversized requests are
+/// rejected before parsing).
+inline constexpr std::size_t kDefaultMaxRequestBytes = 1u << 20;
+
+/// Thrown for any malformed request; the message names the offending
+/// op/field so clients can fix the request without guessing.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class Op { Ping, Status, Submit, Result, Cancel, Drain };
+
+const char* opName(Op op) noexcept;
+
+/// One parsed request.  Fields beyond `op` are meaningful per-op:
+///   submit: ctl (required), priority, timeoutSec, checkpoint
+///   status: id (optional; absent = server status)
+///   result: id (required), wait
+///   cancel: id (required)
+///   ping / drain: no fields
+struct Request {
+  Op op = Op::Ping;
+  std::string ctl;
+  int priority = 0;        ///< Higher runs first; ties FIFO.  [-100, 100].
+  double timeoutSec = 0;   ///< Per-job wall-clock budget (0: none).
+  bool checkpoint = false; ///< Snapshot the job so it survives daemon restart.
+  std::string id;
+  bool wait = false;
+};
+
+inline constexpr int kMinPriority = -100;
+inline constexpr int kMaxPriority = 100;
+
+/// Parse and validate one request line.  Throws ProtocolError (or
+/// support::JsonError for malformed JSON) with a message naming the
+/// violation.
+Request parseRequest(std::string_view line);
+
+}  // namespace slim::serve

@@ -1,0 +1,852 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/batch.hpp"
+#include "core/checkpoint.hpp"
+#include "core/report.hpp"
+#include "opt/cancel.hpp"
+#include "support/atomic_file.hpp"
+#include "support/build_info.hpp"
+#include "support/json.hpp"
+#include "support/json_parse.hpp"
+#include "support/require.hpp"
+
+namespace slim::serve {
+
+namespace fs = std::filesystem;
+using support::jsonString;
+using support::JsonValue;
+
+const char* jobStateName(JobState state) noexcept {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr const char* kJournalSchema = "slimcodemld-journal-v1";
+
+bool terminal(JobState s) noexcept {
+  return s == JobState::Done || s == JobState::Failed ||
+         s == JobState::Cancelled;
+}
+
+/// "dir/gene-007.fasta" -> "gene-007" (same rule as the CLI batch runner, so
+/// per-gene labels in daemon reports match CLI reports byte for byte).
+std::string fileStem(const std::string& path) {
+  const auto slash = path.find_last_of("/\\");
+  const auto base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  return dot == std::string::npos || dot == 0 ? base : base.substr(0, dot);
+}
+
+std::string errorResponse(const std::string& message) {
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kServeSchema << "\",\"ok\":false,\"error\":";
+  jsonString(os, message);
+  os << '}';
+  return os.str();
+}
+
+void sendAll(int fd, std::string_view payload) {
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n = ::send(fd, payload.data() + sent, payload.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; nothing sensible left to do
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void sendLine(int fd, const std::string& response) {
+  sendAll(fd, response + "\n");
+}
+
+}  // namespace
+
+struct AnalysisServer::Job {
+  std::string id;
+  std::uint64_t seq = 0;
+  int priority = 0;
+  double timeoutSec = 0;  ///< Protocol-level budget (folded with ctl's).
+  bool checkpointed = false;
+  std::string ctl;
+  core::Config config;  ///< Parsed & validated at submit.
+  JobState state = JobState::Queued;
+  std::atomic<bool> cancelRequested{false};
+  bool hasDeadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  std::string result;  ///< Rendered JSON report (state Done).
+  std::string error;   ///< Detail for Failed / Cancelled.
+};
+
+struct AnalysisServer::Impl {
+  explicit Impl(ServerOptions opts);
+  ~Impl();
+
+  // --- lifecycle ---
+  void start();
+  void drainAndStop();
+  void abortStop();
+  void stopThreads();
+
+  // --- socket side ---
+  void setUpSocket();
+  void closeSocket(bool unlinkFile);
+  void acceptLoop();
+  void connectionLoop(int fd);
+  std::string handleLine(const std::string& line);
+  std::string handleSubmit(const Request& req);
+  std::string handleStatus(const Request& req);
+  std::string handleResult(const Request& req);
+  std::string handleCancel(const Request& req);
+
+  // --- queue side ---
+  void workerLoop();
+  std::shared_ptr<Job> nextQueuedLocked();
+  struct RunOutcome {
+    std::string report;
+    std::string error;
+    bool cancelled = false;
+  };
+  RunOutcome runJob(Job& job);
+
+  // --- persistence ---
+  std::string journalPath() const { return options.stateDir + "/jobs.journal"; }
+  std::string resultPath(const std::string& id) const {
+    return options.stateDir + "/" + id + ".result.json";
+  }
+  std::string checkpointPath(const std::string& id) const {
+    return options.stateDir + "/" + id + ".ckpt";
+  }
+  void persistJournalLocked();
+  void recoverJournal();
+
+  /// Submit-time validation shared by live submissions and recovery.
+  /// Returns an error message, or empty when the ctl is acceptable.
+  std::string validateJobConfig(const core::Config& config) const;
+
+  ServerOptions options;
+  int listenFd = -1;
+  int wakePipe[2] = {-1, -1};
+
+  std::atomic<bool> stopping{false};       ///< Cancels fits, stops workers.
+  std::atomic<bool> draining{false};       ///< Stops admission.
+  std::atomic<bool> stopRequested{false};  ///< Owner should call drainAndStop.
+  bool suppressPersist = false;            ///< abortStop: emulate SIGKILL.
+  bool started = false;
+  bool stopped = false;
+
+  mutable std::mutex mutex;  ///< Guards jobs, nextSeq, journal writes.
+  std::condition_variable cv;
+  std::map<std::string, std::shared_ptr<Job>> jobs;
+  std::uint64_t nextSeq = 1;
+
+  ContextCache cache;
+
+  std::vector<std::thread> workers;
+  std::thread acceptThread;
+  std::mutex connMutex;
+  std::vector<int> connFds;
+  std::vector<std::thread> connThreads;
+};
+
+AnalysisServer::Impl::Impl(ServerOptions opts)
+    : options(std::move(opts)), cache(options.contextCacheEntries) {
+  SLIM_REQUIRE(!options.socketPath.empty(), "serve: socketPath is required");
+  SLIM_REQUIRE(options.workers > 0, "serve: workers must be > 0");
+  if (!options.stateDir.empty()) {
+    fs::create_directories(options.stateDir);
+    recoverJournal();
+  }
+  setUpSocket();
+}
+
+AnalysisServer::Impl::~Impl() {
+  if (started && !stopped) drainAndStop();
+  // After drainAndStop/abortStop the fds are already closed; only unlink
+  // when this Impl still owns the bound socket (start() never called), so a
+  // daemon that re-bound the path after our abortStop keeps its socket.
+  closeSocket(/*unlinkFile=*/listenFd >= 0);
+}
+
+void AnalysisServer::Impl::setUpSocket() {
+  // Socket failures are environment, not caller bugs: std::runtime_error,
+  // per the ServerOptions contract.
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options.socketPath.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("serve: socket path too long for AF_UNIX ('" +
+                             options.socketPath + "')");
+  std::memcpy(addr.sun_path, options.socketPath.c_str(),
+              options.socketPath.size() + 1);
+
+  if (fs::exists(options.socketPath)) {
+    // Either a stale file from a killed daemon (unlink it) or a live one
+    // (refuse: two daemons on one socket would steal each other's clients).
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (probe < 0) throw std::runtime_error("serve: cannot create probe socket");
+    const bool alive = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                                 sizeof(addr)) == 0;
+    ::close(probe);
+    if (alive)
+      throw std::runtime_error("serve: another daemon is listening on '" +
+                               options.socketPath + "'");
+    ::unlink(options.socketPath.c_str());
+  }
+
+  listenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listenFd < 0) throw std::runtime_error("serve: cannot create socket");
+  if (::bind(listenFd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw std::runtime_error("serve: cannot bind '" + options.socketPath +
+                             "': " + std::strerror(errno));
+  if (::listen(listenFd, 64) != 0)
+    throw std::runtime_error("serve: listen failed: " +
+                             std::string(std::strerror(errno)));
+  if (::pipe(wakePipe) != 0)
+    throw std::runtime_error("serve: cannot create wake pipe");
+}
+
+void AnalysisServer::Impl::closeSocket(bool unlinkFile) {
+  if (listenFd >= 0) ::close(listenFd);
+  listenFd = -1;
+  if (wakePipe[0] >= 0) ::close(wakePipe[0]);
+  if (wakePipe[1] >= 0) ::close(wakePipe[1]);
+  wakePipe[0] = wakePipe[1] = -1;
+  if (unlinkFile && !options.socketPath.empty())
+    ::unlink(options.socketPath.c_str());
+}
+
+void AnalysisServer::Impl::start() {
+  SLIM_REQUIRE(!started, "serve: start() called twice");
+  started = true;
+  for (int w = 0; w < options.workers; ++w)
+    workers.emplace_back([this] { workerLoop(); });
+  acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+void AnalysisServer::Impl::stopThreads() {
+  stopping.store(true);
+  draining.store(true);
+  cv.notify_all();
+  // Wake the accept loop and kick every open connection so blocked reads
+  // (including `result wait`ers, woken via cv above) unwind promptly.
+  if (wakePipe[1] >= 0) {
+    const char x = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(wakePipe[1], &x, 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(connMutex);
+    for (const int fd : connFds)
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& w : workers) w.join();
+  workers.clear();
+  if (acceptThread.joinable()) acceptThread.join();
+  // Connection threads exit once their fd is shut down.
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(connMutex);
+    conns.swap(connThreads);
+  }
+  for (auto& t : conns) t.join();
+}
+
+void AnalysisServer::Impl::drainAndStop() {
+  if (stopped || !started) return;
+  stopThreads();
+  // A graceful exit releases the address immediately — a successor daemon
+  // must be able to bind without waiting for this object's destructor.
+  closeSocket(/*unlinkFile=*/true);
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    if (!options.stateDir.empty()) persistJournalLocked();
+  }
+  stopped = true;
+}
+
+void AnalysisServer::Impl::abortStop() {
+  if (stopped || !started) return;
+  {
+    // A real SIGKILL persists nothing past the last journal/checkpoint
+    // write; suppress every further persist before interrupting the fits.
+    std::lock_guard<std::mutex> lock(mutex);
+    suppressPersist = true;
+  }
+  stopThreads();
+  // SIGKILL semantics: the kernel closes the fds but never unlinks the
+  // socket file — a restarted daemon must recognize it as stale.
+  closeSocket(/*unlinkFile=*/false);
+  stopped = true;
+}
+
+// ---------------------------------------------------------------- sockets --
+
+void AnalysisServer::Impl::acceptLoop() {
+  for (;;) {
+    pollfd pfds[2] = {{listenFd, POLLIN, 0}, {wakePipe[0], POLLIN, 0}};
+    if (::poll(pfds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (pfds[1].revents != 0 || stopping.load()) return;
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(connMutex);
+    if (stopping.load()) {
+      ::close(fd);
+      return;
+    }
+    connFds.push_back(fd);
+    connThreads.emplace_back([this, fd] { connectionLoop(fd); });
+  }
+}
+
+void AnalysisServer::Impl::connectionLoop(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const auto nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      if (nl > options.maxRequestBytes) {
+        // An over-long line can arrive fully terminated inside one recv
+        // chunk; the no-newline accumulation check below never sees it.
+        sendLine(fd, errorResponse(
+                         "request exceeds " +
+                         std::to_string(options.maxRequestBytes) + " bytes"));
+        break;
+      }
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) {
+        sendLine(fd, errorResponse("empty request"));
+        continue;
+      }
+      sendLine(fd, handleLine(line));
+      continue;
+    }
+    if (buffer.size() > options.maxRequestBytes) {
+      // Admission control: never buffer (or parse) an unbounded request.
+      sendLine(fd, errorResponse(
+                       "request exceeds " +
+                       std::to_string(options.maxRequestBytes) + " bytes"));
+      break;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(connMutex);
+  if (const auto it = std::find(connFds.begin(), connFds.end(), fd);
+      it != connFds.end())
+    *it = -1;
+}
+
+std::string AnalysisServer::Impl::handleLine(const std::string& line) {
+  Request req;
+  try {
+    req = parseRequest(line);
+  } catch (const std::exception& e) {
+    return errorResponse(e.what());
+  }
+  switch (req.op) {
+    case Op::Ping:
+      return std::string("{\"schema\":\"") + std::string(kServeSchema) +
+             "\",\"ok\":true,\"op\":\"ping\"}";
+    case Op::Status: return handleStatus(req);
+    case Op::Submit: return handleSubmit(req);
+    case Op::Result: return handleResult(req);
+    case Op::Cancel: return handleCancel(req);
+    case Op::Drain: {
+      draining.store(true);
+      stopRequested.store(true);
+      cv.notify_all();
+      return std::string("{\"schema\":\"") + std::string(kServeSchema) +
+             "\",\"ok\":true,\"op\":\"drain\"}";
+    }
+  }
+  return errorResponse("unhandled op");
+}
+
+std::string AnalysisServer::Impl::validateJobConfig(
+    const core::Config& config) const {
+  if (config.analysis != core::AnalysisKind::BranchSite)
+    return "daemon jobs support 'model = branch-site' only";
+  if (!config.checkpointPath.empty() || config.resume)
+    return "ctl must not set 'checkpoint' — request it with the protocol's "
+           "\"checkpoint\" flag (the daemon owns checkpoint paths)";
+  if (!config.outfile.empty() && config.outfile != "-")
+    return "daemon jobs return the report over the wire; remove 'outfile'";
+  return {};
+}
+
+std::string AnalysisServer::Impl::handleSubmit(const Request& req) {
+  core::Config config;
+  try {
+    config = core::Config::parseString(req.ctl);
+  } catch (const std::exception& e) {
+    return errorResponse(std::string("ctl: ") + e.what());
+  }
+  if (std::string problem = validateJobConfig(config); !problem.empty())
+    return errorResponse(problem);
+  if (req.checkpoint && options.stateDir.empty())
+    return errorResponse(
+        "daemon was started without --state; checkpointed jobs are "
+        "unavailable");
+
+  std::unique_lock<std::mutex> lock(mutex);
+  if (draining.load())
+    return errorResponse("server is draining; not accepting jobs");
+  std::size_t queued = 0;
+  for (const auto& [id, job] : jobs)
+    if (job->state == JobState::Queued) ++queued;
+  if (queued >= options.maxQueued)
+    return errorResponse("queue full (" + std::to_string(queued) +
+                         " jobs queued; maxQueued = " +
+                         std::to_string(options.maxQueued) + ")");
+
+  auto job = std::make_shared<Job>();
+  job->seq = nextSeq++;
+  job->id = "job-" + std::to_string(job->seq);
+  job->priority = req.priority;
+  job->timeoutSec = req.timeoutSec;
+  job->checkpointed = req.checkpoint;
+  job->ctl = req.ctl;
+  job->config = std::move(config);
+  jobs.emplace(job->id, job);
+  if (!options.stateDir.empty() && !suppressPersist) persistJournalLocked();
+  lock.unlock();
+  cv.notify_all();
+
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kServeSchema
+     << "\",\"ok\":true,\"op\":\"submit\",\"id\":";
+  jsonString(os, job->id);
+  os << ",\"state\":\"queued\"}";
+  return os.str();
+}
+
+std::string AnalysisServer::Impl::handleStatus(const Request& req) {
+  std::unique_lock<std::mutex> lock(mutex);
+  if (!req.id.empty()) {
+    const auto it = jobs.find(req.id);
+    if (it == jobs.end())
+      return errorResponse("unknown job id \"" + req.id + "\"");
+    const Job& job = *it->second;
+    std::ostringstream os;
+    os << "{\"schema\":\"" << kServeSchema
+       << "\",\"ok\":true,\"op\":\"status\",\"job\":{\"id\":";
+    jsonString(os, job.id);
+    os << ",\"state\":\"" << jobStateName(job.state)
+       << "\",\"priority\":" << job.priority;
+    if (!job.error.empty()) {
+      os << ",\"error\":";
+      jsonString(os, job.error);
+    }
+    os << "}}";
+    return os.str();
+  }
+
+  std::size_t byState[5] = {};
+  for (const auto& [id, job] : jobs)
+    ++byState[static_cast<int>(job->state)];
+  lock.unlock();
+  const ContextCacheStats cacheStats = cache.stats();
+
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kServeSchema
+     << "\",\"ok\":true,\"op\":\"status\",\"server\":{\"version\":"
+     << support::buildInfoJson() << ",\"draining\":"
+     << (draining.load() ? "true" : "false")
+     << ",\"workers\":" << options.workers
+     << ",\"maxQueued\":" << options.maxQueued << ",\"jobs\":{\"queued\":"
+     << byState[static_cast<int>(JobState::Queued)] << ",\"running\":"
+     << byState[static_cast<int>(JobState::Running)] << ",\"done\":"
+     << byState[static_cast<int>(JobState::Done)] << ",\"failed\":"
+     << byState[static_cast<int>(JobState::Failed)] << ",\"cancelled\":"
+     << byState[static_cast<int>(JobState::Cancelled)]
+     << "},\"contextCache\":{\"entries\":" << cacheStats.entries
+     << ",\"hits\":" << cacheStats.hits << ",\"misses\":" << cacheStats.misses
+     << ",\"busy\":" << cacheStats.busy << "}}}";
+  return os.str();
+}
+
+std::string AnalysisServer::Impl::handleResult(const Request& req) {
+  std::unique_lock<std::mutex> lock(mutex);
+  const auto it = jobs.find(req.id);
+  if (it == jobs.end())
+    return errorResponse("unknown job id \"" + req.id + "\"");
+  const std::shared_ptr<Job> job = it->second;
+  if (req.wait)
+    cv.wait(lock, [&] { return terminal(job->state) || stopping.load(); });
+  if (!terminal(job->state))
+    return errorResponse(stopping.load()
+                             ? "server stopping before job " + job->id +
+                                   " finished"
+                             : "job " + job->id + " is not finished (state " +
+                                   jobStateName(job->state) + ")");
+  std::ostringstream os;
+  if (job->state == JobState::Done) {
+    os << "{\"schema\":\"" << kServeSchema
+       << "\",\"ok\":true,\"op\":\"result\",\"id\":";
+    jsonString(os, job->id);
+    // The report is spliced in verbatim — byte-identical to what
+    // `slimcodeml --json` writes for the same ctl.
+    os << ",\"state\":\"done\",\"report\":" << job->result << "}";
+  } else {
+    os << "{\"schema\":\"" << kServeSchema
+       << "\",\"ok\":false,\"op\":\"result\",\"id\":";
+    jsonString(os, job->id);
+    os << ",\"state\":\"" << jobStateName(job->state) << "\",\"error\":";
+    jsonString(os, job->error.empty() ? "job did not finish" : job->error);
+    os << "}";
+  }
+  return os.str();
+}
+
+std::string AnalysisServer::Impl::handleCancel(const Request& req) {
+  std::unique_lock<std::mutex> lock(mutex);
+  const auto it = jobs.find(req.id);
+  if (it == jobs.end())
+    return errorResponse("unknown job id \"" + req.id + "\"");
+  Job& job = *it->second;
+  if (job.state == JobState::Queued) {
+    job.state = JobState::Cancelled;
+    job.error = "cancelled by client";
+    if (!options.stateDir.empty() && !suppressPersist) persistJournalLocked();
+  } else if (job.state == JobState::Running) {
+    // Cooperative: the running fit observes the flag at its next iteration
+    // boundary and stops at the last accepted point.
+    job.cancelRequested.store(true);
+  }
+  const JobState state = job.state;
+  lock.unlock();
+  cv.notify_all();
+
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kServeSchema
+     << "\",\"ok\":true,\"op\":\"cancel\",\"id\":";
+  jsonString(os, req.id);
+  os << ",\"state\":\"" << jobStateName(state) << "\"}";
+  return os.str();
+}
+
+// ------------------------------------------------------------------ queue --
+
+std::shared_ptr<AnalysisServer::Job> AnalysisServer::Impl::nextQueuedLocked() {
+  std::shared_ptr<Job> best;
+  for (const auto& [id, job] : jobs) {
+    if (job->state != JobState::Queued) continue;
+    if (!best || job->priority > best->priority ||
+        (job->priority == best->priority && job->seq < best->seq))
+      best = job;
+  }
+  return best;
+}
+
+void AnalysisServer::Impl::workerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] {
+        return stopping.load() || nextQueuedLocked() != nullptr;
+      });
+      if (stopping.load()) return;
+      job = nextQueuedLocked();
+      job->state = JobState::Running;
+      // Arm the wall-clock deadline now (queue wait does not count): the
+      // tighter of the protocol budget and the ctl's timeoutSec.
+      double limit = job->timeoutSec;
+      if (job->config.timeoutSec > 0)
+        limit = limit > 0 ? std::min(limit, job->config.timeoutSec)
+                          : job->config.timeoutSec;
+      if (limit > 0) {
+        job->hasDeadline = true;
+        job->deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(limit));
+      }
+      if (!options.stateDir.empty() && !suppressPersist) persistJournalLocked();
+    }
+    cv.notify_all();
+
+    const RunOutcome out = runJob(*job);
+
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      if (!out.error.empty()) {
+        job->state = JobState::Failed;
+        job->error = out.error;
+      } else if (out.cancelled) {
+        if (job->cancelRequested.load()) {
+          job->state = JobState::Cancelled;
+          job->error = "cancelled by client";
+        } else if (stopping.load()) {
+          // Interrupted by drain/shutdown, not finished: requeue so the
+          // journal records it as pending and a restarted daemon resumes it
+          // (from its checkpoint when it has one).
+          job->state = JobState::Queued;
+        } else {
+          job->state = JobState::Failed;
+          job->error = "deadline exceeded";
+        }
+      } else {
+        job->state = JobState::Done;
+        job->result = out.report;
+        if (!options.stateDir.empty() && !suppressPersist)
+          support::writeFileAtomic(resultPath(job->id), out.report + "\n");
+      }
+      if (!options.stateDir.empty() && !suppressPersist) persistJournalLocked();
+    }
+    cv.notify_all();
+  }
+}
+
+AnalysisServer::Impl::RunOutcome AnalysisServer::Impl::runJob(Job& job) {
+  RunOutcome out;
+  try {
+    core::Config config = core::resolveTuningProfile(job.config);
+    // All cancellation sources compose onto the one predicate the optimizer
+    // polls at iteration boundaries.  The ctl's own timeoutSec is already
+    // folded into job.deadline — runFromConfig's deadline plumbing is not in
+    // this code path, so nothing is applied twice.
+    Job* const jobPtr = &job;
+    config.fit.bfgs.cancel = [this, jobPtr] {
+      if (stopping.load(std::memory_order_relaxed)) return true;
+      if (jobPtr->cancelRequested.load(std::memory_order_relaxed)) return true;
+      return jobPtr->hasDeadline &&
+             std::chrono::steady_clock::now() >= jobPtr->deadline;
+    };
+
+    std::unique_ptr<core::CheckpointManager> ckpt;
+    if (job.checkpointed) {
+      // resume=true always: a fresh file falls back to a fresh run, an
+      // existing one (daemon restart) continues bit-identically.
+      config.checkpointPath = checkpointPath(job.id);
+      ckpt = core::CheckpointManager::open(
+          config.checkpointPath, config.checkpointEverySec,
+          core::checkpointConfigHash(config), /*resume=*/true);
+    }
+
+    core::BatchOptions batchOptions;
+    batchOptions.fit = config.fit;
+    batchOptions.checkpoint = ckpt.get();
+    core::BatchAnalysis batch(config.engine, batchOptions);
+
+    std::vector<ContextCache::Lease> leases;
+    std::vector<std::string> names;
+    leases.reserve(config.seqfiles.size());
+    for (const auto& path : config.seqfiles) {
+      leases.push_back(cache.acquire(path, config, config.fit));
+      names.push_back(fileStem(path));
+      batch.addGene(leases.back().context(), names.back());
+    }
+
+    const auto tests = batch.runAll();
+    for (const auto& test : tests)
+      out.cancelled |= test.h0.cancelled || test.h1.cancelled;
+    if (out.cancelled) return out;
+
+    std::ostringstream os;
+    if (tests.size() == 1 && config.seqfiles.size() == 1)
+      core::writeJsonTestReport(os, tests.front(), config.engine);
+    else
+      core::writeJsonBatchReport(os, tests, names, config.engine,
+                                 batch.totals(), batch.lastRun());
+    out.report = os.str();
+    while (!out.report.empty() && out.report.back() == '\n')
+      out.report.pop_back();
+
+    if (ckpt != nullptr) {
+      // The job is complete; its checkpoint has served its purpose.  Drop it
+      // so the state directory only holds live state (and the restart path
+      // serves the recorded result instead of re-running).
+      ckpt.reset();
+      std::error_code ec;
+      fs::remove(checkpointPath(job.id), ec);
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ persistence --
+
+void AnalysisServer::Impl::persistJournalLocked() {
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kJournalSchema << "\",\"nextSeq\":" << nextSeq
+     << "}\n";
+  // Seq order keeps the journal deterministic for a given queue state.
+  std::vector<std::shared_ptr<Job>> ordered;
+  ordered.reserve(jobs.size());
+  for (const auto& [id, job] : jobs) ordered.push_back(job);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a->seq < b->seq; });
+  for (const auto& job : ordered) {
+    os << "{\"id\":";
+    jsonString(os, job->id);
+    os << ",\"seq\":" << job->seq << ",\"state\":\""
+       << jobStateName(job->state) << "\",\"priority\":" << job->priority
+       << ",\"timeoutSec\":";
+    support::jsonNumber(os, job->timeoutSec);
+    os << ",\"checkpoint\":" << (job->checkpointed ? "true" : "false")
+       << ",\"ctl\":";
+    jsonString(os, job->ctl);
+    if (!job->error.empty()) {
+      os << ",\"error\":";
+      jsonString(os, job->error);
+    }
+    os << "}\n";
+  }
+  support::writeFileAtomic(journalPath(), os.str());
+}
+
+void AnalysisServer::Impl::recoverJournal() {
+  std::ifstream in(journalPath());
+  if (!in.good()) return;  // fresh state directory
+
+  const auto fail = [this](int lineNo, const std::string& what) {
+    throw std::runtime_error(journalPath() + " line " +
+                             std::to_string(lineNo) + ": " + what);
+  };
+
+  std::string line;
+  int lineNo = 0;
+  bool sawHeader = false;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    JsonValue doc;
+    try {
+      doc = support::parseJson(line);
+    } catch (const std::exception& e) {
+      fail(lineNo, e.what());
+    }
+    if (!sawHeader) {
+      sawHeader = true;
+      if (const JsonValue* schema = doc.find("schema");
+          schema == nullptr || !schema->isString() ||
+          schema->asString() != kJournalSchema)
+        fail(lineNo, std::string("expected journal schema \"") +
+                         kJournalSchema + "\"");
+      const double seq = doc.at("nextSeq").asNumber();
+      if (seq < 1 || std::floor(seq) != seq)
+        fail(lineNo, "invalid nextSeq");
+      nextSeq = static_cast<std::uint64_t>(seq);
+      continue;
+    }
+    auto job = std::make_shared<Job>();
+    try {
+      job->id = doc.at("id").asString();
+      job->seq = static_cast<std::uint64_t>(doc.at("seq").asNumber());
+      job->priority = static_cast<int>(doc.at("priority").asNumber());
+      job->timeoutSec = doc.at("timeoutSec").asNumber();
+      job->checkpointed = doc.at("checkpoint").asBool();
+      job->ctl = doc.at("ctl").asString();
+      const std::string& state = doc.at("state").asString();
+      if (state == "queued" || state == "running") {
+        // Interrupted (or never started) when the daemon died: requeue.  A
+        // checkpointed job resumes its recorded trajectory from <id>.ckpt.
+        job->state = JobState::Queued;
+      } else if (state == "done") {
+        job->state = JobState::Done;
+      } else if (state == "failed") {
+        job->state = JobState::Failed;
+      } else if (state == "cancelled") {
+        job->state = JobState::Cancelled;
+      } else {
+        fail(lineNo, "unknown job state \"" + state + "\"");
+      }
+      if (const JsonValue* error = doc.find("error"))
+        job->error = error->asString();
+    } catch (const support::JsonError& e) {
+      fail(lineNo, e.what());
+    }
+
+    if (job->state == JobState::Queued) {
+      try {
+        job->config = core::Config::parseString(job->ctl);
+      } catch (const std::exception& e) {
+        job->state = JobState::Failed;
+        job->error = std::string("ctl no longer parses on recovery: ") +
+                     e.what();
+      }
+      if (job->state == JobState::Queued) {
+        if (std::string problem = validateJobConfig(job->config);
+            !problem.empty()) {
+          job->state = JobState::Failed;
+          job->error = "ctl failed validation on recovery: " + problem;
+        }
+      }
+    } else if (job->state == JobState::Done) {
+      std::ifstream result(resultPath(job->id));
+      if (result.good()) {
+        std::ostringstream buffer;
+        buffer << result.rdbuf();
+        job->result = buffer.str();
+        while (!job->result.empty() && job->result.back() == '\n')
+          job->result.pop_back();
+      } else {
+        job->state = JobState::Failed;
+        job->error = "recorded result file is missing (" +
+                     resultPath(job->id) + ")";
+      }
+    }
+    jobs[job->id] = job;
+  }
+  if (!sawHeader && lineNo > 0) fail(1, "journal has no header line");
+}
+
+// -------------------------------------------------------------- public API --
+
+AnalysisServer::AnalysisServer(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+AnalysisServer::~AnalysisServer() = default;
+
+void AnalysisServer::start() { impl_->start(); }
+
+bool AnalysisServer::stopRequested() const noexcept {
+  return impl_->stopRequested.load();
+}
+
+void AnalysisServer::requestStop() noexcept { impl_->stopRequested.store(true); }
+
+void AnalysisServer::drainAndStop() { impl_->drainAndStop(); }
+
+void AnalysisServer::abortStop() { impl_->abortStop(); }
+
+const std::string& AnalysisServer::socketPath() const noexcept {
+  return impl_->options.socketPath;
+}
+
+ContextCacheStats AnalysisServer::cacheStats() const {
+  return impl_->cache.stats();
+}
+
+}  // namespace slim::serve

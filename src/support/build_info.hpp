@@ -1,0 +1,36 @@
+#pragma once
+// Build/version identification shared by `slimcodeml --version`, the
+// `slimcodemld` daemon's status response, and bench provenance.  Everything
+// here is needed to reproduce a result from a fleet log: the exact source
+// revision, the compiler that built it, the SIMD level the *running* host
+// resolves to, and the versioned schemas this build reads/writes.
+
+#include <string>
+#include <vector>
+
+namespace slim::support {
+
+struct SchemaVersion {
+  std::string name;     // e.g. "serve"
+  std::string version;  // e.g. "slimcodeml-serve-v1"
+};
+
+struct BuildInfo {
+  std::string gitDescribe;  // `git describe --always --dirty --tags` at configure
+  std::string compiler;     // compiler id + version (__VERSION__)
+  std::string buildType;    // CMAKE_BUILD_TYPE ("unknown" outside CMake)
+  std::string simd;         // SIMD level detected on the running host
+  std::vector<SchemaVersion> schemas;
+};
+
+/// Snapshot of this build + the current host (simd is probed at call time).
+BuildInfo buildInfo();
+
+/// One-line human form: "slimcodeml <git> (<compiler>, <buildType>, simd=<x>)".
+std::string buildInfoLine();
+
+/// The `{"gitDescribe":...,"compiler":...,...,"schemas":{...}}` JSON object
+/// (no trailing newline) embedded in daemon status responses.
+std::string buildInfoJson();
+
+}  // namespace slim::support

@@ -1,8 +1,8 @@
 #pragma once
 // Minimal JSON emission helpers shared by every structured-report writer
-// (core/report.cpp, valid/study.cpp, support/bench_record.cpp).  Emission
-// only — the project deliberately has no JSON *parser*; machine-readable
-// output is consumed by external tooling (CI scripts, notebooks).
+// (core/report.cpp, valid/study.cpp, support/bench_record.cpp).  The strict
+// parser counterpart (needed by the serve protocol, which consumes untrusted
+// socket input) lives in support/json_parse.hpp.
 
 #include <cmath>
 #include <iomanip>

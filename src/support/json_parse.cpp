@@ -1,0 +1,392 @@
+#include "support/json_parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/json.hpp"
+
+namespace slim::support {
+
+JsonValue JsonValue::makeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::makeNumber(double d) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::makeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::makeArray(Array a) {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  v.array_ = std::move(a);
+  return v;
+}
+
+JsonValue JsonValue::makeObject(Object o) {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  v.object_ = std::move(o);
+  return v;
+}
+
+namespace {
+
+[[noreturn]] void kindError(const char* expected, JsonValue::Kind got) {
+  static const char* const names[] = {"null",   "bool",  "number",
+                                      "string", "array", "object"};
+  throw JsonError(std::string("JSON value is ") +
+                  names[static_cast<int>(got)] + ", expected " + expected);
+}
+
+}  // namespace
+
+bool JsonValue::asBool() const {
+  if (kind_ != Kind::Bool) kindError("bool", kind_);
+  return bool_;
+}
+
+double JsonValue::asNumber() const {
+  if (kind_ != Kind::Number) kindError("number", kind_);
+  return number_;
+}
+
+const std::string& JsonValue::asString() const {
+  if (kind_ != Kind::String) kindError("string", kind_);
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::asArray() const {
+  if (kind_ != Kind::Array) kindError("array", kind_);
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::asObject() const {
+  if (kind_ != Kind::Object) kindError("object", kind_);
+  return object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr)
+    throw JsonError("missing JSON object field \"" + std::string(key) + "\"");
+  return *v;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::Null: return true;
+    case Kind::Bool: return bool_ == other.bool_;
+    case Kind::Number:
+      // Bitwise-equality semantics for the bit-identity tests: compare the
+      // values exactly (no epsilon); NaN never occurs (JSON has no NaN).
+      return number_ == other.number_;
+    case Kind::String: return string_ == other.string_;
+    case Kind::Array: return array_ == other.array_;
+    case Kind::Object: return object_ == other.object_;
+  }
+  return false;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    skipWs();
+    JsonValue v = parseValue(0);
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing data after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("JSON parse error at byte " + std::to_string(pos_) + ": " +
+                    what);
+  }
+
+  bool atEnd() const { return pos_ >= text_.size(); }
+
+  char peek() const {
+    if (atEnd()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c, const char* where) {
+    if (atEnd() || text_[pos_] != c)
+      fail(std::string("expected '") + c + "' " + where);
+    ++pos_;
+  }
+
+  void skipWs() {
+    while (!atEnd()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  void expectLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit)
+      fail("invalid literal (expected \"" + std::string(lit) + "\")");
+    pos_ += lit.size();
+  }
+
+  JsonValue parseValue(std::size_t depth) {
+    if (depth > kMaxJsonDepth) fail("nesting depth limit exceeded");
+    switch (peek()) {
+      case 'n': expectLiteral("null"); return JsonValue::makeNull();
+      case 't': expectLiteral("true"); return JsonValue::makeBool(true);
+      case 'f': expectLiteral("false"); return JsonValue::makeBool(false);
+      case '"': return JsonValue::makeString(parseString());
+      case '[': return parseArray(depth);
+      case '{': return parseObject(depth);
+      default: return parseNumber();
+    }
+  }
+
+  JsonValue parseArray(std::size_t depth) {
+    expect('[', "to open array");
+    JsonValue::Array items;
+    skipWs();
+    if (!atEnd() && text_[pos_] == ']') {
+      ++pos_;
+      return JsonValue::makeArray(std::move(items));
+    }
+    while (true) {
+      skipWs();
+      items.push_back(parseValue(depth + 1));
+      skipWs();
+      char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return JsonValue::makeArray(std::move(items));
+  }
+
+  JsonValue parseObject(std::size_t depth) {
+    expect('{', "to open object");
+    JsonValue::Object members;
+    skipWs();
+    if (!atEnd() && text_[pos_] == '}') {
+      ++pos_;
+      return JsonValue::makeObject(std::move(members));
+    }
+    while (true) {
+      skipWs();
+      if (atEnd() || text_[pos_] != '"') fail("expected string object key");
+      std::string key = parseString();
+      for (const auto& [k, v] : members)
+        if (k == key) fail("duplicate object key \"" + key + "\"");
+      skipWs();
+      expect(':', "after object key");
+      skipWs();
+      members.emplace_back(std::move(key), parseValue(depth + 1));
+      skipWs();
+      char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return JsonValue::makeObject(std::move(members));
+  }
+
+  std::string parseString() {
+    expect('"', "to open string");
+    std::string out;
+    while (true) {
+      char c = take();
+      unsigned char uc = static_cast<unsigned char>(c);
+      if (c == '"') break;
+      if (uc < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': appendCodepoint(out); break;
+        default:
+          --pos_;
+          fail("invalid escape sequence");
+      }
+    }
+    return out;
+  }
+
+  unsigned parseHex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = take();
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      else {
+        --pos_;
+        fail("invalid \\u escape digit");
+      }
+    }
+    return v;
+  }
+
+  void appendCodepoint(std::string& out) {
+    unsigned cp = parseHex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: must be followed by \uDC00..\uDFFF.
+      if (atEnd() || take() != '\\') {
+        --pos_;
+        fail("unpaired UTF-16 high surrogate");
+      }
+      if (take() != 'u') {
+        --pos_;
+        fail("unpaired UTF-16 high surrogate");
+      }
+      unsigned lo = parseHex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid UTF-16 low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired UTF-16 low surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    if (!atEnd() && text_[pos_] == '-') ++pos_;
+    // Integer part: 0, or [1-9][0-9]*.  Leading zeros are invalid JSON.
+    if (atEnd() || !isDigit(text_[pos_])) fail("invalid number");
+    if (text_[pos_] == '0')
+      ++pos_;
+    else
+      while (!atEnd() && isDigit(text_[pos_])) ++pos_;
+    if (!atEnd() && text_[pos_] == '.') {
+      ++pos_;
+      if (atEnd() || !isDigit(text_[pos_])) fail("digit required after '.'");
+      while (!atEnd() && isDigit(text_[pos_])) ++pos_;
+    }
+    if (!atEnd() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!atEnd() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (atEnd() || !isDigit(text_[pos_])) fail("digit required in exponent");
+      while (!atEnd() && isDigit(text_[pos_])) ++pos_;
+    }
+    const std::string span(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(span.c_str(), &end);
+    if (end != span.c_str() + span.size()) fail("invalid number");
+    if (!std::isfinite(v)) fail("number out of double range");
+    return JsonValue::makeNumber(v);
+  }
+
+  static bool isDigit(char c) { return c >= '0' && c <= '9'; }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parseJson(std::string_view text) { return Parser(text).run(); }
+
+void writeJson(std::ostream& os, const JsonValue& value) {
+  switch (value.kind()) {
+    case JsonValue::Kind::Null: os << "null"; break;
+    case JsonValue::Kind::Bool: os << (value.asBool() ? "true" : "false"); break;
+    case JsonValue::Kind::Number: jsonNumber(os, value.asNumber()); break;
+    case JsonValue::Kind::String: jsonString(os, value.asString()); break;
+    case JsonValue::Kind::Array: {
+      os << '[';
+      bool first = true;
+      for (const JsonValue& item : value.asArray()) {
+        if (!first) os << ',';
+        first = false;
+        writeJson(os, item);
+      }
+      os << ']';
+      break;
+    }
+    case JsonValue::Kind::Object: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, member] : value.asObject()) {
+        if (!first) os << ',';
+        first = false;
+        jsonString(os, key);
+        os << ':';
+        writeJson(os, member);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+}  // namespace slim::support

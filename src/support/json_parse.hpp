@@ -1,0 +1,90 @@
+#pragma once
+// Minimal strict JSON parser for the serve protocol (src/serve/) and its
+// tests.  Counterpart to the emission helpers in support/json.hpp: requests
+// arriving over the daemon socket are untrusted input, so the grammar is
+// enforced strictly (RFC 8259) and every deviation throws JsonError with a
+// byte offset instead of guessing.
+//
+// Deliberate limits:
+//   - numbers are stored as double (the report schema only emits doubles;
+//     integers above 2^53 would lose precision, none occur in practice),
+//   - object member order is preserved, duplicate keys are rejected,
+//   - nesting depth is capped (kMaxJsonDepth) so hostile input cannot
+//     overflow the stack,
+//   - input must be a single JSON value; trailing non-whitespace is an error.
+
+#include <cstddef>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace slim::support {
+
+/// Thrown on any malformed input; the message includes the byte offset.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::size_t kMaxJsonDepth = 64;
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() = default;
+  static JsonValue makeNull() { return JsonValue(); }
+  static JsonValue makeBool(bool b);
+  static JsonValue makeNumber(double v);
+  static JsonValue makeString(std::string s);
+  static JsonValue makeArray(Array a);
+  static JsonValue makeObject(Object o);
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+  bool isBool() const { return kind_ == Kind::Bool; }
+  bool isNumber() const { return kind_ == Kind::Number; }
+  bool isString() const { return kind_ == Kind::String; }
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isObject() const { return kind_ == Kind::Object; }
+
+  /// Accessors throw JsonError on a kind mismatch.
+  bool asBool() const;
+  double asNumber() const;
+  const std::string& asString() const;
+  const Array& asArray() const;
+  const Object& asObject() const;
+
+  /// Object lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+  /// Object lookup; throws JsonError naming the key when absent.
+  const JsonValue& at(std::string_view key) const;
+
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses exactly one JSON value from `text` (leading/trailing whitespace
+/// allowed, nothing else).  Throws JsonError on any deviation.
+JsonValue parseJson(std::string_view text);
+
+/// Re-emits a parsed value using the same number/string formatting as the
+/// report writers (jsonNumber/jsonString), so a parse -> write round trip of
+/// a report produced by this codebase is byte-identical.
+void writeJson(std::ostream& os, const JsonValue& value);
+
+}  // namespace slim::support

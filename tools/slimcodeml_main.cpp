@@ -6,6 +6,8 @@
 // See src/core/config.hpp for the control-file reference, or run with
 // --help for a template.
 
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -16,6 +18,7 @@
 #include "core/config.hpp"
 #include "core/report.hpp"
 #include "support/atomic_file.hpp"
+#include "support/build_info.hpp"
 
 namespace {
 
@@ -35,6 +38,14 @@ the worker pool, sharing the tree and the propagator cache machinery.
                  completed fits are skipped, interrupted ones continue
                  their recorded trajectory bit-identically; a checkpoint
                  from a different configuration is refused
+  --version      print build information (git revision, compiler, SIMD
+                 level, schema versions) and exit
+
+SIGTERM/SIGINT stop the run at the next optimizer iteration: the checkpoint
+(when configured) keeps its last snapshot, a partial report with the
+interrupted fits marked `cancelled` is still written atomically, and the
+exit status is 130.  `timeoutSec =` in the control file bounds wall-clock
+the same way.
 
 Control file template:
 
@@ -78,6 +89,10 @@ void emitJson(const slim::core::Config& config,
   std::cerr << "wrote " << path << '\n';
 }
 
+std::atomic<bool> gInterrupted{false};
+
+void handleSignal(int) { gInterrupted.store(true); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,6 +104,9 @@ int main(int argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::cerr << kUsage;
+      return 0;
+    } else if (arg == "--version") {
+      std::cout << slim::support::buildInfoLine() << '\n';
       return 0;
     } else if (arg == "--json") {
       json = true;
@@ -112,9 +130,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Graceful interruption: the handler only raises a flag; the optimizers
+  // poll it at iteration boundaries (= checkpoint snapshot points) and stop
+  // at the last accepted point, so the report/checkpoint writes below still
+  // run and stay atomic.
+  std::signal(SIGINT, handleSignal);
+  std::signal(SIGTERM, handleSignal);
+
   try {
     auto config = slim::core::Config::parseFile(ctlPath);
     config.resume = resume;
+    config.fit.bfgs.cancel = [] { return gInterrupted.load(); };
     if (!batchDir.empty()) {
       for (auto& path : slim::core::scanBatchDirectory(batchDir))
         config.seqfiles.push_back(std::move(path));
@@ -152,6 +178,12 @@ int main(int argc, char** argv) {
       std::cerr << "done: lnL0 = " << test.h0.lnL
                 << ", lnL1 = " << test.h1.lnL << ", p = " << test.lrt.pChi2
                 << '\n';
+    }
+    if (gInterrupted.load()) {
+      std::cerr << "slimcodeml: interrupted — partial report written; "
+                   "interrupted fits are marked 'cancelled' (use a "
+                   "checkpoint to resume them)\n";
+      return 130;
     }
     return 0;
   } catch (const std::exception& e) {
