@@ -1,0 +1,214 @@
+#include "backend/expm_pade.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "linalg/lu.hpp"
+#include "support/require.hpp"
+
+namespace slim::backend {
+
+using linalg::Matrix;
+
+const char* expmAlgorithmName(ExpmAlgorithm a) noexcept {
+  return a == ExpmAlgorithm::Adaptive ? "adaptive" : "eigen";
+}
+
+bool parseExpmAlgorithm(std::string_view text, ExpmAlgorithm& out) noexcept {
+  if (text == "eigen") {
+    out = ExpmAlgorithm::Eigen;
+  } else if (text == "adaptive") {
+    out = ExpmAlgorithm::Adaptive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Backward-error thresholds theta_m of Higham 2005, Table 2.3: r_m(A) has
+// backward error <= u (double precision) whenever ||A||_1 <= theta_m.
+constexpr double kTheta3 = 1.495585217958292e-2;
+constexpr double kTheta5 = 2.539398330063230e-1;
+constexpr double kTheta7 = 9.504178996162932e-1;
+constexpr double kTheta9 = 2.097847961257068;
+constexpr double kTheta13 = 5.371920351148152;
+
+// Padé numerator coefficients b_0..b_m of the [m/m] diagonal approximant;
+// the denominator is the same series with odd terms negated, so
+// U = odd part, V = even part, r_m = (V - U)^{-1} (V + U).
+constexpr double kB3[] = {120., 60., 12., 1.};
+constexpr double kB5[] = {30240., 15120., 3360., 420., 30., 1.};
+constexpr double kB7[] = {17297280., 8648640., 1995840., 277200.,
+                          25200.,    1512.,    56.,      1.};
+constexpr double kB9[] = {17643225600., 8821612800., 2075673600., 302702400.,
+                          30270240.,    2162160.,    110880.,     3960.,
+                          90.,          1.};
+constexpr double kB13[] = {64764752532480000., 32382376266240000.,
+                           7771770303897600.,  1187353796428800.,
+                           129060195264000.,   10559470521600.,
+                           670442572800.,      33522128640.,
+                           1323241920.,        40840800.,
+                           960960.,            16380.,
+                           182.,               1.};
+
+double norm1(const Matrix& a) {
+  const std::size_t n = a.rows();
+  double best = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    double colSum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) colSum += std::fabs(a(i, j));
+    best = std::max(best, colSum);
+  }
+  return best;
+}
+
+void shape(Matrix& m, std::size_t n) {
+  if (m.rows() != n || m.cols() != n) m.resize(n, n);
+}
+
+/// dst := c0 * I  (dst already n x n).
+void setScaledIdentity(Matrix& dst, double c0) {
+  dst.fill(0.0);
+  for (std::size_t i = 0; i < dst.rows(); ++i) dst(i, i) = c0;
+}
+
+/// dst += c * src, elementwise.
+void addScaled(Matrix& dst, double c, const Matrix& src) {
+  const std::size_t size = dst.size();
+  double* d = dst.data();
+  const double* s = src.data();
+  for (std::size_t i = 0; i < size; ++i) d[i] += c * s[i];
+}
+
+}  // namespace
+
+int expmAdaptive(const Matrix& a, const linalg::SimdKernels& kern,
+                 AdaptiveExpmWorkspace& ws, Matrix& out) {
+  SLIM_REQUIRE(a.square(), "expmAdaptive: matrix must be square");
+  const std::size_t n = a.rows();
+  SLIM_REQUIRE(n > 0, "expmAdaptive: empty matrix");
+
+  const double anorm = norm1(a);
+
+  // Scaling exponent: only degree 13 ever scales, and by the minimal s with
+  // ||A / 2^s||_1 <= theta_13.
+  int s = 0;
+  if (anorm > kTheta13) {
+    s = static_cast<int>(std::ceil(std::log2(anorm / kTheta13)));
+    if (s < 0) s = 0;
+  }
+
+  shape(ws.scaled, n);
+  const double scale = std::ldexp(1.0, -s);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ws.scaled.data()[i] = a.data()[i] * scale;
+  const Matrix& b = ws.scaled;
+
+  auto mul = [&kern, n](const Matrix& x, const Matrix& y, Matrix& dst) {
+    kern.gemm(x.data(), y.data(), dst.data(), n, n, n);
+  };
+
+  shape(ws.a2, n);
+  shape(ws.poly, n);
+  shape(ws.u, n);
+  shape(ws.v, n);
+  shape(ws.tmp, n);
+  mul(b, b, ws.a2);
+
+  if (anorm <= kTheta9) {
+    // Degrees 3/5/7/9 share one shape: U = A * (sum of odd b over even
+    // powers), V = sum of even b over even powers.
+    std::span<const double> coeff;
+    if (anorm <= kTheta3) {
+      coeff = kB3;
+    } else if (anorm <= kTheta5) {
+      coeff = kB5;
+    } else if (anorm <= kTheta7) {
+      coeff = kB7;
+    } else {
+      coeff = kB9;
+    }
+    const int m = static_cast<int>(coeff.size()) - 1;
+
+    // Even powers A^2, A^4, A^6, A^8 as needed (A^8 reuses tmp).
+    const Matrix* powers[4] = {&ws.a2, nullptr, nullptr, nullptr};
+    if (m >= 5) {
+      shape(ws.a4, n);
+      mul(ws.a2, ws.a2, ws.a4);
+      powers[1] = &ws.a4;
+    }
+    if (m >= 7) {
+      shape(ws.a6, n);
+      mul(ws.a4, ws.a2, ws.a6);
+      powers[2] = &ws.a6;
+    }
+    if (m >= 9) {
+      mul(ws.a6, ws.a2, ws.tmp);
+      powers[3] = &ws.tmp;
+    }
+
+    setScaledIdentity(ws.poly, coeff[1]);
+    setScaledIdentity(ws.v, coeff[0]);
+    for (int p = 0; 2 * p + 2 <= m; ++p) {
+      addScaled(ws.poly, coeff[2 * p + 3], *powers[p]);
+      addScaled(ws.v, coeff[2 * p + 2], *powers[p]);
+    }
+    mul(b, ws.poly, ws.u);
+  } else {
+    // Degree 13: U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 +
+    // b3 A2 + b1 I), V likewise with the even coefficients.
+    shape(ws.a4, n);
+    shape(ws.a6, n);
+    mul(ws.a2, ws.a2, ws.a4);
+    mul(ws.a4, ws.a2, ws.a6);
+
+    ws.poly.fill(0.0);
+    addScaled(ws.poly, kB13[13], ws.a6);
+    addScaled(ws.poly, kB13[11], ws.a4);
+    addScaled(ws.poly, kB13[9], ws.a2);
+    mul(ws.a6, ws.poly, ws.tmp);
+    addScaled(ws.tmp, kB13[7], ws.a6);
+    addScaled(ws.tmp, kB13[5], ws.a4);
+    addScaled(ws.tmp, kB13[3], ws.a2);
+    for (std::size_t i = 0; i < n; ++i) ws.tmp(i, i) += kB13[1];
+    mul(b, ws.tmp, ws.u);
+
+    ws.poly.fill(0.0);
+    addScaled(ws.poly, kB13[12], ws.a6);
+    addScaled(ws.poly, kB13[10], ws.a4);
+    addScaled(ws.poly, kB13[8], ws.a2);
+    mul(ws.a6, ws.poly, ws.v);
+    addScaled(ws.v, kB13[6], ws.a6);
+    addScaled(ws.v, kB13[4], ws.a4);
+    addScaled(ws.v, kB13[2], ws.a2);
+    for (std::size_t i = 0; i < n; ++i) ws.v(i, i) += kB13[0];
+  }
+
+  // r_m = (V - U)^{-1} (V + U): reuse poly for V - U, tmp for V + U.
+  for (std::size_t i = 0; i < ws.u.size(); ++i) {
+    const double ui = ws.u.data()[i];
+    const double vi = ws.v.data()[i];
+    ws.poly.data()[i] = vi - ui;
+    ws.tmp.data()[i] = vi + ui;
+  }
+  out = linalg::LuFactorization(ws.poly).solve(ws.tmp);
+
+  for (int k = 0; k < s; ++k) {
+    mul(out, out, ws.tmp);
+    std::swap(out, ws.tmp);
+  }
+  return s;
+}
+
+Matrix expmAdaptive(const Matrix& a) {
+  AdaptiveExpmWorkspace ws;
+  Matrix out;
+  expmAdaptive(a, linalg::simdKernels(linalg::SimdLevel::Scalar), ws, out);
+  return out;
+}
+
+}  // namespace slim::backend

@@ -115,6 +115,24 @@ linalg::SimdLevel parseSimdLevel(std::string_view rest,
                     "'");
 }
 
+backend::BackendKind parseBackendKindField(std::string_view rest,
+                                           const std::string& context) {
+  backend::BackendKind k = backend::BackendKind::Reference;
+  if (!backend::parseBackendKind(rest, k))
+    throw ConfigError(context + ": unknown backend '" + std::string(rest) +
+                      "'");
+  return k;
+}
+
+backend::ExpmAlgorithm parseExpmField(std::string_view rest,
+                                      const std::string& context) {
+  backend::ExpmAlgorithm a = backend::ExpmAlgorithm::Eigen;
+  if (!backend::parseExpmAlgorithm(rest, a))
+    throw ConfigError(context + ": unknown expm algorithm '" +
+                      std::string(rest) + "'");
+  return a;
+}
+
 // Line cursor over the checkpoint text, tracking line numbers for errors.
 class LineReader {
  public:
@@ -180,6 +198,8 @@ std::string Checkpoint::serialize() const {
     os << "gradientEvaluations " << fit.gradientEvaluations << '\n';
     os << "gradientMode " << gradientModeName(fit.gradientMode) << '\n';
     os << "simd " << linalg::simdLevelName(fit.simd) << '\n';
+    os << "backend " << backend::backendKindName(fit.backend) << '\n';
+    os << "expm " << backend::expmAlgorithmName(fit.expm) << '\n';
     os << "converged " << (fit.converged ? 1 : 0) << '\n';
     os << "end\n";
   }
@@ -314,7 +334,7 @@ Checkpoint Checkpoint::parse(std::string_view text, const std::string& origin) {
     if (status == "done") {
       knownOnly({"hypothesis", "lnL", "params", "branchLengths", "iterations",
                  "functionEvaluations", "gradientEvaluations", "gradientMode",
-                 "simd", "converged"});
+                 "simd", "backend", "expm", "converged"});
       FitResult fit;
       fit.hypothesis = parseHypothesis(need("hypothesis"), ctx("hypothesis"));
       fit.lnL = parseHexDouble(need("lnL"), ctx("lnL"));
@@ -337,6 +357,13 @@ Checkpoint Checkpoint::parse(std::string_view text, const std::string& origin) {
       fit.gradientMode = parseGradientMode(need("gradientMode"),
                                            ctx("gradientMode"));
       fit.simd = parseSimdLevel(need("simd"), ctx("simd"));
+      // Fields introduced with the backend subsystem.  Optional on parse:
+      // hand-written fixtures and the hash pin (which covers the resolved
+      // backend/expm) keep compatibility honest either way.
+      if (const auto it = fields.find("backend"); it != fields.end())
+        fit.backend = parseBackendKindField(it->second, ctx("backend"));
+      if (const auto it = fields.find("expm"); it != fields.end())
+        fit.expm = parseExpmField(it->second, ctx("expm"));
       fit.converged = parseLong(need("converged"), ctx("converged")) != 0;
       ck.completed.emplace(key, std::move(fit));
     } else if (status == "bfgs") {
@@ -460,6 +487,14 @@ std::uint64_t checkpointConfigHash(const Config& config) {
   // AVX2 host — the hash mismatch turns that into a keyed refusal.
   add("simd", linalg::simdLevelName(
                   linalg::resolveSimdLevel(config.fit.tuning.simd)));
+  // Same for the compute backend and propagator builder: `backend = auto`
+  // resolves per host capability, and the kernels' summation orders differ
+  // across backends — a resumed trajectory must replay the same arithmetic.
+  add("backend",
+      backend::backendKindName(backend::resolveBackendKind(
+          config.fit.tuning.backend,
+          linalg::resolveSimdLevel(config.fit.tuning.simd))));
+  add("expm", backend::expmAlgorithmName(config.fit.tuning.expm));
   add("cleandata", config.stopCodonsAsMissing ? "1" : "0");
   // Input files are hashed by path AND content: a pipeline that regenerates
   // an alignment in place between crash and resume must get the keyed

@@ -202,6 +202,8 @@ FitResult fitHypothesis(const AnalysisContext& context, Hypothesis hypothesis,
   r.gradientEvaluations = bfgsResult.gradientEvaluations;
   r.gradientMode = mode;
   r.simd = eval.simdLevel();
+  r.backend = eval.backendKind();
+  r.expm = eval.expmAlgorithm();
   r.converged = bfgsResult.converged;
   r.cancelled = bfgsResult.cancelled;
   r.message = bfgsResult.message;

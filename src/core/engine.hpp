@@ -95,6 +95,12 @@ struct LikelihoodTuning {
   /// see lik::LikelihoodOptions::simd.  The resolved level is recorded in
   /// FitResult::simd and the text/JSON reports.
   linalg::SimdMode simd = linalg::SimdMode::Auto;
+  /// Compute-backend selection (`backend =` ctl key); see
+  /// lik::LikelihoodOptions::backend.  The resolved kind is recorded in
+  /// FitResult::backend and the text/JSON reports.
+  backend::BackendMode backend = backend::BackendMode::Auto;
+  /// Propagator builder (`expm =` ctl key); see lik::LikelihoodOptions::expm.
+  backend::ExpmAlgorithm expm = backend::ExpmAlgorithm::Eigen;
 };
 
 constexpr lik::LikelihoodOptions resolvedEngineOptions(
@@ -105,6 +111,8 @@ constexpr lik::LikelihoodOptions resolvedEngineOptions(
   if (tuning.cachePropagators >= 0)
     o.cachePropagators = tuning.cachePropagators != 0;
   o.simd = tuning.simd;
+  o.backend = tuning.backend;
+  o.expm = tuning.expm;
   return o;
 }
 

@@ -29,7 +29,11 @@ void writeFitReport(std::ostream& os, const FitResult& fit) {
              : fit.converged ? " (converged)" : " (iteration cap reached)")
      << '\n'
      << "    wall time = " << std::setprecision(3) << fit.seconds
-     << " s, simd = " << linalg::simdLevelName(fit.simd) << '\n';
+     << " s, simd = " << linalg::simdLevelName(fit.simd)
+     << ", backend = " << backend::backendKindName(fit.backend);
+  if (fit.expm == backend::ExpmAlgorithm::Adaptive)
+    os << ", expm = adaptive";
+  os << '\n';
   if (!fit.resumedFrom.empty())
     os << "    resumed from " << fit.resumedFrom << " ("
        << fit.iterationsReplayed << " iterations replayed)\n";
@@ -82,7 +86,8 @@ void writeSiteFit(std::ostream& os, const SiteModelFitResult& fit) {
   os << "    p0 = " << fit.params.p0 << ", p1 = " << fit.params.p1 << '\n'
      << "    iterations = " << fit.iterations
      << (fit.converged ? " (converged)" : " (iteration cap reached)")
-     << ", simd = " << linalg::simdLevelName(fit.simd) << '\n';
+     << ", simd = " << linalg::simdLevelName(fit.simd)
+     << ", backend = " << backend::backendKindName(fit.backend) << '\n';
 }
 
 }  // namespace
@@ -183,6 +188,12 @@ void jsonFit(std::ostream& os, const FitResult& fit) {
   jsonString(os, gradientModeName(fit.gradientMode));
   os << ",\"simd\":";
   jsonString(os, linalg::simdLevelName(fit.simd));
+  os << ",\"backend\":";
+  jsonString(os, backend::backendKindName(fit.backend));
+  // Only adaptive-expm fits carry the key: an `expm = eigen` run's JSON
+  // stays byte-identical to what earlier versions emitted modulo "backend".
+  if (fit.expm == backend::ExpmAlgorithm::Adaptive)
+    os << ",\"expm\":\"adaptive\"";
   os << ",\"converged\":" << (fit.converged ? "true" : "false");
   // Only cancelled fits carry the flag, keeping untouched runs' JSON
   // byte-identical to what earlier versions emitted.

@@ -154,6 +154,7 @@ SiteModelFitResult SiteModelAnalysis::fit(SiteModel m) {
   out.gradientEvaluations = r.gradientEvaluations;
   out.gradientMode = mode;
   out.simd = eval.simdLevel();
+  out.backend = eval.backendKind();
   out.converged = r.converged;
   out.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -48,6 +48,8 @@ struct SiteModelFitResult {
   GradientMode gradientMode = GradientMode::FiniteDiff;
   /// The SIMD kernel level the evaluator resolved `simd =` to.
   linalg::SimdLevel simd = linalg::SimdLevel::Scalar;
+  /// The compute backend the evaluator resolved `backend =` to.
+  backend::BackendKind backend = backend::BackendKind::Reference;
   bool converged = false;
   double seconds = 0;
 };

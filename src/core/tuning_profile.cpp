@@ -53,6 +53,7 @@ std::string TuningProfile::serialize() const {
   os << "blockSize " << blockSize << '\n';
   os << "parallel " << parallelPolicyName(policy) << '\n';
   os << "simd " << linalg::simdModeName(simd) << '\n';
+  os << "backend " << backend::backendModeName(backend) << '\n';
   os << "secondsPerEval " << hexDouble(secondsPerEval) << '\n';
   os << "end\n";
   return os.str();
@@ -73,9 +74,11 @@ TuningProfile TuningProfile::parse(std::string_view text,
     if (magic != kMagic)
       throw ConfigError(where() + ": not a slimcodeml tuning profile (bad "
                         "magic '" + std::string(magic) + "')");
-    if (version != "v" + std::to_string(kVersion))
+    // v1 (pre-backend) profiles still load: they carry no `backend` line,
+    // leaving the field at its Auto sentinel.
+    if (version != "v1" && version != "v" + std::to_string(kVersion))
       throw ConfigError(where() + ": unsupported tuning-profile version '" +
-                        std::string(version) + "' (this build reads v" +
+                        std::string(version) + "' (this build reads v1..v" +
                         std::to_string(kVersion) + ")");
   }
 
@@ -103,6 +106,10 @@ TuningProfile TuningProfile::parse(std::string_view text,
     } else if (field == "simd") {
       if (!linalg::parseSimdMode(rest, p.simd))
         throw ConfigError(context + ": unknown simd mode '" +
+                          std::string(rest) + "'");
+    } else if (field == "backend") {
+      if (!backend::parseBackendMode(rest, p.backend))
+        throw ConfigError(context + ": unknown backend mode '" +
                           std::string(rest) + "'");
     } else if (field == "secondsPerEval") {
       p.secondsPerEval = parseHexDouble(rest, context);
@@ -150,6 +157,20 @@ TuningProfile TuningProfile::load(const std::string& path) {
                         "' is not available on this host — re-run "
                         "slimcodeml-tune");
   }
+  if (p.backend != backend::BackendMode::Auto) {
+    // Same guard for the compute backend: a profile tuned with BLAS on a
+    // build that later dropped -DSLIM_WITH_BLAS must refuse loudly here.
+    const auto kind = p.backend == backend::BackendMode::Reference
+                          ? backend::BackendKind::Reference
+                      : p.backend == backend::BackendMode::Simd
+                          ? backend::BackendKind::Simd
+                          : backend::BackendKind::Blas;
+    if (!backend::backendAvailable(kind))
+      throw ConfigError("tuning profile '" + path + "': tuned backend '" +
+                        std::string(backend::backendModeName(p.backend)) +
+                        "' is not available in this build — re-run "
+                        "slimcodeml-tune");
+  }
   return p;
 }
 
@@ -162,6 +183,7 @@ void TuningProfile::applyTo(LikelihoodTuning& tuning) const {
   if (tuning.blockSize < 0 && blockSize >= 0) tuning.blockSize = blockSize;
   if (tuning.policy == ParallelPolicy::Auto) tuning.policy = policy;
   if (tuning.simd == linalg::SimdMode::Auto) tuning.simd = simd;
+  if (tuning.backend == backend::BackendMode::Auto) tuning.backend = backend;
 }
 
 std::string defaultTuningProfilePath() {

@@ -24,7 +24,10 @@
 namespace slim::core {
 
 struct TuningProfile {
-  static constexpr int kVersion = 1;
+  /// v2 added the `backend` field (compute-backend subsystem).  parse()
+  /// still reads v1 files — they simply leave `backend` at its Auto
+  /// sentinel — so profiles recorded by older tuners keep loading.
+  static constexpr int kVersion = 2;
 
   // --- host binding (written by the tuner, checked by load()) ---
   std::string host;          ///< hostname the profile was measured on
@@ -36,6 +39,8 @@ struct TuningProfile {
   int blockSize = -1;                            ///< -1: untuned
   ParallelPolicy policy = ParallelPolicy::Auto;  ///< Auto: untuned
   linalg::SimdMode simd = linalg::SimdMode::Auto;  ///< Auto: untuned
+  /// Auto: untuned (v1 profiles always load as Auto).
+  backend::BackendMode backend = backend::BackendMode::Auto;
 
   /// Seconds per likelihood evaluation of the winning configuration
   /// (informational; lets a re-tune report the improvement).

@@ -4,11 +4,13 @@
 #include <bit>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "linalg/blas1.hpp"
 #include "linalg/blas2.hpp"
 #include "linalg/blas3.hpp"
 #include "linalg/diag.hpp"
+#include "model/codon_model.hpp"
 #include "model/frequencies.hpp"
 #include "support/require.hpp"
 
@@ -53,7 +55,26 @@ BranchSiteLikelihood::BranchSiteLikelihood(
   simdLevel_ = options_.flavor == linalg::Flavor::Naive
                    ? linalg::SimdLevel::Scalar
                    : linalg::resolveSimdLevel(options_.simd);
-  kern_ = &linalg::simdKernels(simdLevel_);
+  // Resolve the compute backend the same way (Auto reproduces the
+  // pre-backend dispatch: Reference at scalar, Simd otherwise); an explicit
+  // backend missing from the build fails here, not mid-evaluation.
+  backend_ = backend::computeBackend(
+      backend::resolveBackendKind(options_.flavor == linalg::Flavor::Naive
+                                      ? backend::BackendMode::Reference
+                                      : options_.backend,
+                                  simdLevel_),
+      simdLevel_);
+  kern_ = &backend_.ops;
+
+  // The symmetric / factored propagation strategies are artifacts of the
+  // eigendecomposition (they apply M or Yhat, never P itself), so the
+  // adaptive propagator cannot serve them.
+  if (options_.expm == backend::ExpmAlgorithm::Adaptive &&
+      options_.propagation != PropagationStrategy::PerSiteGemv &&
+      options_.propagation != PropagationStrategy::BundledGemm)
+    throw std::invalid_argument(
+        "expm = adaptive supports only the per-site-gemv and bundled-gemm "
+        "propagation strategies");
 
   branchNodes_ = tree_.branches();
   nodeToBranch_.assign(tree_.numNodes(), -1);
@@ -180,12 +201,45 @@ void BranchSiteLikelihood::buildPropagator(const expm::CodonEigenSystem& es,
   }
 }
 
+void BranchSiteLikelihood::adaptiveTransition(int eigenIdx, double t,
+                                              Matrix& out) {
+  const Matrix& q = rateMatrices_[eigenIdx];
+  if (adaptQt_.rows() != static_cast<std::size_t>(n_)) adaptQt_.resize(n_, n_);
+  for (std::size_t i = 0; i < q.size(); ++i)
+    adaptQt_.data()[i] = q.data()[i] * t;
+  // The expm's internal products always run on the resolved backend table;
+  // the scalar (reference) table is the deterministic baseline.
+  backend::expmAdaptive(adaptQt_, *kern_, adaptWs_, out);
+  // Same roundoff-negative policy as the eigen-path P(t) builds.
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (out.data()[i] < 0.0) out.data()[i] = 0.0;
+}
+
+void BranchSiteLikelihood::buildAdaptivePropagator(int eigenIdx, double t,
+                                                   Matrix& out) {
+  if (out.rows() != static_cast<std::size_t>(n_)) out.resize(n_, n_);
+  switch (options_.propagation) {
+    case PropagationStrategy::PerSiteGemv:
+      adaptiveTransition(eigenIdx, t, out);
+      break;
+    case PropagationStrategy::BundledGemm:
+      // Stored transposed, exactly like the eigen path (see buildPropagator).
+      if (transposeScratch_.rows() != static_cast<std::size_t>(n_))
+        transposeScratch_.resize(n_, n_);
+      adaptiveTransition(eigenIdx, t, transposeScratch_);
+      linalg::transposeInto(transposeScratch_, out);
+      break;
+    default:
+      SLIM_REQUIRE(false, "adaptive expm: unsupported propagation strategy");
+  }
+}
+
 const Matrix& BranchSiteLikelihood::propagator(int node, int omegaIdx) {
   const std::size_t key = propIndex(node, omegaIdx);
   if (propPtr_[key]) return *propPtr_[key];
 
   const int eigenIdx = omegaToEigen_[omegaIdx];
-  const auto& es = eigenSystems_[eigenIdx];
+  const bool adaptive = options_.expm == backend::ExpmAlgorithm::Adaptive;
   double t = tree_.branchLength(node);
 
   if (shard_) {
@@ -201,7 +255,10 @@ const Matrix& BranchSiteLikelihood::propagator(int node, int omegaIdx) {
           static_cast<std::size_t>(options_.cacheCapacity))
         shard_->flushNextEval = true;
       Matrix p;
-      buildPropagator(es, t, p);
+      if (adaptive)
+        buildAdaptivePropagator(eigenIdx, t, p);
+      else
+        buildPropagator(eigenSystems_[eigenIdx], t, p);
       ++counters_.propagatorBuilds;
       ++counters_.propagatorCacheMisses;
       it = shard_->entries.emplace(ck, std::move(p)).first;
@@ -213,7 +270,10 @@ const Matrix& BranchSiteLikelihood::propagator(int node, int omegaIdx) {
   }
 
   Matrix& out = propCache_[key];
-  buildPropagator(es, t, out);
+  if (adaptive)
+    buildAdaptivePropagator(eigenIdx, t, out);
+  else
+    buildPropagator(eigenSystems_[eigenIdx], t, out);
   ++counters_.propagatorBuilds;
   propPtr_[key] = &out;
   return out;
@@ -346,19 +406,34 @@ void BranchSiteLikelihood::pruneClassBlock(int m, int h0, int len,
 }
 
 void BranchSiteLikelihood::prepareEigenSystems(const MixtureSpec& spec) {
+  const bool adaptive = options_.expm == backend::ExpmAlgorithm::Adaptive;
   if (shard_) {
     if (shard_->flushNextEval) {
       shard_->entries.clear();
       shard_->flushNextEval = false;
     }
+    // Entries are only reusable when they were built by this evaluator's
+    // exact code path: resolved backend, its SIMD level, and the propagator
+    // algorithm (mirroring how checkpointConfigHash pins resolved simd).
+    // Different backends agree to <= 1e-10, not bit for bit, and eigen vs
+    // adaptive propagators differ at roundoff, so a shard warmed by one
+    // path must never serve another.
+    const bool pathMatches =
+        !shard_->builtStamped ||
+        (shard_->builtBackend == backend_.kind &&
+         shard_->builtSimd == backend_.simdLevel &&
+         shard_->builtExpm == options_.expm);
     // Identical substitution parameters since the shard was filled mean the
     // eigensystems — and every cached propagator derived from them — are
     // still valid.  This is what makes optimizer line searches and
     // finite-difference gradients (which move few coordinates per call)
     // skip nearly all eigen-reconstruction work.
-    const bool specMatches = spec.omegas == shard_->specOmegas &&
+    const bool specMatches = pathMatches &&
+                             spec.omegas == shard_->specOmegas &&
                              spec.scaledS == shard_->specScaledS;
-    if (specMatches && !eigenSystems_.empty()) return;
+    const bool prepared = adaptive ? !rateMatrices_.empty()
+                                   : !eigenSystems_.empty();
+    if (specMatches && prepared) return;
     // A *warm* shard handed to a fresh evaluator (specMatches, but no local
     // eigensystems yet) keeps its entries: the decomposition below is
     // deterministic, so the eigen indices the stored keys refer to come out
@@ -366,9 +441,11 @@ void BranchSiteLikelihood::prepareEigenSystems(const MixtureSpec& spec) {
     if (!specMatches) shard_->entries.clear();
   }
 
-  // Eigendecompose once per *distinct* omega value (e.g. under the model A
-  // null, omega2 == omega1 == 1 shares one decomposition).
+  // One eigendecomposition — or, in adaptive-expm mode, one rate matrix —
+  // per *distinct* omega value (e.g. under the model A null,
+  // omega2 == omega1 == 1 shares one).
   eigenSystems_.clear();
+  rateMatrices_.clear();
   omegaToEigen_.assign(numOmegas_, -1);
   for (int k = 0; k < numOmegas_; ++k) {
     int found = -1;
@@ -380,9 +457,16 @@ void BranchSiteLikelihood::prepareEigenSystems(const MixtureSpec& spec) {
         }
     }
     if (found < 0) {
-      eigenSystems_.emplace_back(spec.scaledS[k], pi_);
-      ++counters_.eigenDecompositions;
-      found = static_cast<int>(eigenSystems_.size()) - 1;
+      if (adaptive) {
+        Matrix q(n_, n_);
+        model::buildRateMatrix(spec.scaledS[k], pi_, q);
+        rateMatrices_.push_back(std::move(q));
+        found = static_cast<int>(rateMatrices_.size()) - 1;
+      } else {
+        eigenSystems_.emplace_back(spec.scaledS[k], pi_);
+        ++counters_.eigenDecompositions;
+        found = static_cast<int>(eigenSystems_.size()) - 1;
+      }
     }
     omegaToEigen_[k] = found;
   }
@@ -390,6 +474,10 @@ void BranchSiteLikelihood::prepareEigenSystems(const MixtureSpec& spec) {
   if (shard_) {
     shard_->specOmegas = spec.omegas;
     shard_->specScaledS = spec.scaledS;
+    shard_->builtBackend = backend_.kind;
+    shard_->builtSimd = backend_.simdLevel;
+    shard_->builtExpm = options_.expm;
+    shard_->builtStamped = true;
   }
 }
 
@@ -561,6 +649,7 @@ void BranchSiteLikelihood::buildGradientPropagators() {
   gradDerivT_.resize(propSlots);
   std::vector<char> built(propSlots, 0);
   Matrix dp(n_, n_);
+  const bool adaptive = options_.expm == backend::ExpmAlgorithm::Adaptive;
   for (int node : branchNodes_) {
     const bool marked = tree_.node(node).mark != 0;
     for (int m = 0; m < numClasses_; ++m) {
@@ -569,7 +658,7 @@ void BranchSiteLikelihood::buildGradientPropagators() {
       const std::size_t slot = propIndex(node, omegaIdx);
       if (built[slot]) continue;
       built[slot] = 1;
-      const auto& es = eigenSystems_[omegaToEigen_[omegaIdx]];
+      const int eigenIdx = omegaToEigen_[omegaIdx];
       double t = tree_.branchLength(node);
       // Differentiate at the same (possibly quantized) length the evaluation
       // propagated with, so gradient and objective describe one function.
@@ -592,13 +681,23 @@ void BranchSiteLikelihood::buildGradientPropagators() {
         p = *stored;
         linalg::transposeInto(p, pT);
       } else {
-        dispatchedTransition(es, t, p);
+        if (adaptive)
+          adaptiveTransition(eigenIdx, t, p);
+        else
+          dispatchedTransition(eigenSystems_[eigenIdx], t, p);
         linalg::transposeInto(p, pT);
         ++counters_.propagatorBuilds;
       }
       Matrix& dT = gradDerivT_[slot];
       if (dT.rows() != static_cast<std::size_t>(n_)) dT.resize(n_, n_);
-      dispatchedDerivative(es, t, dp);
+      if (adaptive) {
+        // dP/dt = Q e^{Qt} = Q P exactly (Q and e^{Qt} commute); derivatives
+        // legitimately carry negative entries, so no clamp — matching the
+        // eigen path's derivativeMatrix policy.
+        dispatchedGemm(rateMatrices_[eigenIdx].view(), p.view(), dp.view());
+      } else {
+        dispatchedDerivative(eigenSystems_[eigenIdx], t, dp);
+      }
       linalg::transposeInto(dp, dT);
       ++counters_.propagatorBuilds;
     }

@@ -24,6 +24,8 @@
 #include <memory>
 #include <vector>
 
+#include "backend/compute_backend.hpp"
+#include "backend/expm_pade.hpp"
 #include "bio/genetic_code.hpp"
 #include "expm/codon_eigen_system.hpp"
 #include "lik/options.hpp"
@@ -166,6 +168,12 @@ class BranchSiteLikelihood {
   /// The SIMD level options().simd resolved to at construction (Scalar when
   /// the flavor is Naive — the baseline loop nests are never vectorized).
   linalg::SimdLevel simdLevel() const noexcept { return simdLevel_; }
+  /// The compute backend options().backend resolved to at construction
+  /// (Reference when the flavor is Naive, like simd).
+  backend::BackendKind backendKind() const noexcept { return backend_.kind; }
+  const char* backendName() const noexcept { return backend_.name; }
+  /// The propagator builder in use (`expm =` ctl key, per-model).
+  backend::ExpmAlgorithm expmAlgorithm() const noexcept { return options_.expm; }
   /// Entries currently held by the persistent propagator cache.
   std::size_t cachedPropagators() const noexcept {
     return shard_ ? shard_->entries.size() : 0;
@@ -253,6 +261,12 @@ class BranchSiteLikelihood {
   void buildPropagator(const expm::CodonEigenSystem& es, double t,
                        linalg::Matrix& out);
 
+  // Adaptive-expm counterparts (options_.expm == Adaptive): plain
+  // P(t) = e^{Q t} with the eigen path's roundoff-negative clamp, and the
+  // strategy-oriented store (P for per-site-gemv, P^T for bundled-gemm).
+  void adaptiveTransition(int eigenIdx, double t, linalg::Matrix& out);
+  void buildAdaptivePropagator(int eigenIdx, double t, linalg::Matrix& out);
+
   // SIMD-or-flavor dispatch, kept in one place so every routed call site
   // follows the same rule (kern_ for Opt above scalar, legacy flavor path
   // otherwise — see useSimdKernels()).
@@ -285,21 +299,23 @@ class BranchSiteLikelihood {
   model::Hypothesis hypothesis_;
   LikelihoodOptions options_;
 
-  // SIMD dispatch, resolved once at construction.  kern_ is the selected
-  // function-pointer table; the scalar table is the same code Flavor::Opt
-  // runs, so routing through it never changes results.  Naive flavor keeps
-  // its own loop nests (kern_ unused on that path).
+  // Compute-backend dispatch, resolved once at construction.  kern_ points
+  // at backend_.ops, the selected function-pointer table; the reference
+  // (scalar) table is the same code Flavor::Opt runs, so routing through it
+  // never changes results.  Naive flavor keeps its own loop nests (kern_
+  // unused on that path).
   linalg::SimdLevel simdLevel_ = linalg::SimdLevel::Scalar;
+  backend::ComputeBackend backend_;
   const linalg::SimdKernels* kern_ = nullptr;
 
-  // True when the hot paths should go through kern_.  The resolved-scalar
-  // case keeps the original Flavor::Opt call path instead — bit-identical
-  // either way (the scalar table is that code), but the legacy unfused
-  // reconstruction sequence avoids the fused kernel's per-element clamp on
-  // a path that gains nothing from dispatch.
+  // True when the hot paths should go through kern_.  The Reference backend
+  // (what Auto resolves to at scalar SIMD) keeps the original Flavor::Opt
+  // call path instead — bit-identical either way (the scalar table is that
+  // code), but the legacy unfused reconstruction sequence avoids the fused
+  // kernel's per-element clamp on a path that gains nothing from dispatch.
   bool useSimdKernels() const noexcept {
     return options_.flavor == linalg::Flavor::Opt &&
-           simdLevel_ != linalg::SimdLevel::Scalar;
+           backend_.kind != backend::BackendKind::Reference;
   }
 
   int n_ = 0;             // codon states (61)
@@ -322,10 +338,16 @@ class BranchSiteLikelihood {
   std::vector<model::MixtureClass> activeClasses_;
   std::vector<double> activeOmegas_;
   std::vector<expm::CodonEigenSystem> eigenSystems_;  // per distinct omega
+  // Adaptive-expm mode stores the rate matrices instead (same distinct-omega
+  // grouping, indexed by omegaToEigen_; eigenSystems_ stays empty — no
+  // decomposition happens at all on that path).
+  std::vector<linalg::Matrix> rateMatrices_;
   std::vector<int> omegaToEigen_;
   std::vector<linalg::Matrix> propCache_;  // uncached-mode propagator storage
   std::vector<const linalg::Matrix*> propPtr_;  // (node x omega) -> built prop
   expm::ExpmWorkspace expmWs_;
+  backend::AdaptiveExpmWorkspace adaptWs_;  // adaptive-expm scratch
+  linalg::Matrix adaptQt_;                  // Q * t scratch (adaptive mode)
   linalg::Matrix transposeScratch_;  // BundledGemm builds P here, stores P^T
 
   // Gradient-sweep propagator tables, (node x omega)-indexed like propPtr_

@@ -5,6 +5,8 @@
 // orthogonal choices, each independently selectable here so that benches can
 // ablate them; the two named presets reproduce the paper's two systems.
 
+#include "backend/compute_backend.hpp"
+#include "backend/expm_pade.hpp"
 #include "expm/codon_eigen_system.hpp"
 #include "linalg/kernels.hpp"
 #include "linalg/simd.hpp"
@@ -87,6 +89,23 @@ struct LikelihoodOptions {
   /// and block sizes; scalar is the bit-exact reference and AVX levels
   /// agree with it to <= 1e-10 relative on lnL.
   linalg::SimdMode simd = linalg::SimdMode::Auto;
+
+  /// Compute backend for the Flavor::Opt hot ops (`backend =` ctl key).
+  /// Auto resolves to `reference` when the SIMD level resolves to scalar and
+  /// to `simd` otherwise — exactly the pre-backend dispatch — and never to
+  /// `blas` (vendor kernels reassociate, so leaving the deterministic
+  /// default is an explicit opt-in).  An explicit backend missing from the
+  /// build (blas without SLIM_WITH_BLAS) fails evaluator construction.
+  /// Forced to `reference` under Flavor::Naive, like `simd`.
+  backend::BackendMode backend = backend::BackendMode::Auto;
+
+  /// Propagator builder (`expm =` ctl key).  Eigen is the paper's
+  /// symmetric-eigendecomposition pipeline (reversible Q only); Adaptive is
+  /// the Higham–Al-Mohy scaling-and-squaring expm, correct for general rate
+  /// matrices and restricted to the per-site-gemv / bundled-gemm
+  /// propagation strategies (the symmetric/factored strategies are
+  /// artifacts of the eigen path).
+  backend::ExpmAlgorithm expm = backend::ExpmAlgorithm::Eigen;
 };
 
 /// The CodeML v4.4c stand-in: hand-rolled loop kernels, Eq. 9 reconstruction,

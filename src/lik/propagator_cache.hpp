@@ -21,6 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "backend/compute_backend.hpp"
+#include "backend/expm_pade.hpp"
 #include "linalg/matrix.hpp"
 
 namespace slim::lik {
@@ -56,6 +58,20 @@ struct PropagatorCacheShard {
   /// reuse the entries bit for bit.
   std::vector<double> specOmegas;
   std::vector<linalg::Matrix> specScaledS;
+  /// Identity of the code path that built the entries (mirroring how
+  /// checkpointConfigHash pins the resolved simd level): the resolved
+  /// backend, its SIMD level, and the propagator algorithm.  Different
+  /// backends are only <= 1e-10 close, not bit-equal, and eigen vs adaptive
+  /// propagators differ at roundoff — so a shard warmed by one code path
+  /// must never serve another.  An evaluator presenting a different triple
+  /// flushes the entries (prepareEigenSystems), exactly as a spec change
+  /// does.  Defaults match a freshly created shard before first use.
+  backend::BackendKind builtBackend = backend::BackendKind::Reference;
+  linalg::SimdLevel builtSimd = linalg::SimdLevel::Scalar;
+  backend::ExpmAlgorithm builtExpm = backend::ExpmAlgorithm::Eigen;
+  /// False until an evaluator stamps the triple; a virgin shard matches any
+  /// evaluator (there is nothing stale to serve).
+  bool builtStamped = false;
 };
 
 /// Directory of cache shards held by an analysis context.  shard() is safe

@@ -32,6 +32,15 @@ linalg::SimdMode modeForLevel(linalg::SimdLevel level) {
   return linalg::SimdMode::Scalar;
 }
 
+backend::BackendMode modeForBackend(backend::BackendKind kind) {
+  switch (kind) {
+    case backend::BackendKind::Reference: return backend::BackendMode::Reference;
+    case backend::BackendKind::Simd: return backend::BackendMode::Simd;
+    case backend::BackendKind::Blas: return backend::BackendMode::Blas;
+  }
+  return backend::BackendMode::Reference;
+}
+
 /// Fastest-of-`repeats` timing of `evals` warm logLikelihood calls.
 double timeEvaluator(lik::BranchSiteLikelihood& eval,
                      const model::BranchSiteParams& params, int evals,
@@ -66,47 +75,66 @@ AutotuneResult autotune(const AutotuneOptions& options) {
       model::estimateCodonFrequencies(ca, model::CodonFrequencyModel::F3x4);
   const auto params = sim::defaultSimulationParams();
 
-  const auto measureEval = [&](linalg::SimdLevel level, int block,
+  const auto measureEval = [&](backend::BackendKind kind,
+                               linalg::SimdLevel level, int block,
                                int numThreads) {
     lik::LikelihoodOptions opts = lik::slimOptions();
     opts.simd = modeForLevel(level);
+    opts.backend = modeForBackend(kind);
     opts.blockSize = block;
     opts.numThreads = numThreads;
     lik::BranchSiteLikelihood eval(ca, patterns, pi, ds.tree,
                                    model::Hypothesis::H1, opts);
     const double secs = timeEvaluator(eval, params, evals, repeats);
     result.measurements.push_back(
-        {std::string("eval/simd=") + linalg::simdLevelName(level) +
+        {std::string("eval/backend=") + backend::backendKindName(kind) +
+             "/simd=" + linalg::simdLevelName(level) +
              "/block=" + std::to_string(block) +
              "/threads=" + std::to_string(numThreads),
          secs});
     return secs;
   };
 
-  // --- Phase 1: SIMD level x block size at the tuned thread count ---
+  // --- Phase 1: backend x SIMD level x block size at the tuned thread
+  // count.  The SIMD-level axis only exists under the simd backend; the
+  // reference and (vendor-ordered) blas kernels ignore the lane width.
   std::vector<linalg::SimdLevel> levels{linalg::SimdLevel::Scalar};
   for (const auto level :
        {linalg::SimdLevel::Avx2, linalg::SimdLevel::Avx512})
     if (linalg::simdLevelAvailable(level)) levels.push_back(level);
 
+  std::vector<backend::BackendKind> backends;
+  for (const auto kind :
+       {backend::BackendKind::Reference, backend::BackendKind::Simd,
+        backend::BackendKind::Blas})
+    if (backend::backendAvailable(kind)) backends.push_back(kind);
+
+  backend::BackendKind bestBackend = backend::BackendKind::Reference;
   linalg::SimdLevel bestLevel = linalg::SimdLevel::Scalar;
   int bestBlock = options.blockSizes.empty() ? 64 : options.blockSizes.front();
   double bestSecs = std::numeric_limits<double>::infinity();
-  for (const auto level : levels) {
-    for (const int block : options.blockSizes) {
-      const double secs = measureEval(level, block, threads);
-      if (secs < bestSecs) {
-        bestSecs = secs;
-        bestLevel = level;
-        bestBlock = block;
+  for (const auto kind : backends) {
+    const std::vector<linalg::SimdLevel> kindLevels =
+        kind == backend::BackendKind::Simd
+            ? levels
+            : std::vector<linalg::SimdLevel>{linalg::SimdLevel::Scalar};
+    for (const auto level : kindLevels) {
+      for (const int block : options.blockSizes) {
+        const double secs = measureEval(kind, level, block, threads);
+        if (secs < bestSecs) {
+          bestSecs = secs;
+          bestBackend = kind;
+          bestLevel = level;
+          bestBlock = block;
+        }
       }
     }
   }
 
-  // --- Phase 2: thread sweep at the winning SIMD/block configuration ---
+  // --- Phase 2: thread sweep at the winning backend/SIMD/block config ---
   int bestThreads = threads;
   for (int t = 1; t < threads; t *= 2) {
-    const double secs = measureEval(bestLevel, bestBlock, t);
+    const double secs = measureEval(bestBackend, bestLevel, bestBlock, t);
     if (secs < bestSecs) {
       bestSecs = secs;
       bestThreads = t;
@@ -125,6 +153,7 @@ AutotuneResult autotune(const AutotuneOptions& options) {
       batchOptions.fit.tuning.numThreads = bestThreads;
       batchOptions.fit.tuning.blockSize = bestBlock;
       batchOptions.fit.tuning.simd = modeForLevel(bestLevel);
+      batchOptions.fit.tuning.backend = modeForBackend(bestBackend);
       batchOptions.fit.tuning.policy = policy;
       core::BatchAnalysis batch(core::EngineKind::Slim, batchOptions);
       const auto tree = std::make_shared<const tree::Tree>(ds.tree);
@@ -153,6 +182,7 @@ AutotuneResult autotune(const AutotuneOptions& options) {
   p.blockSize = bestBlock;
   p.policy = bestPolicy;
   p.simd = modeForLevel(bestLevel);
+  p.backend = modeForBackend(bestBackend);
   p.secondsPerEval = bestSecs;
   result.seconds = secondsSince(start);
   return result;

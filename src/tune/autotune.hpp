@@ -2,8 +2,9 @@
 // Host microbenchmark behind `slimcodeml-tune` (the build_resource_model
 // half of xblas's resource-model/predict split, PAPERS.md): measure the
 // likelihood engine's actual speed on THIS machine across the tuning axes
-// the engine exposes — SIMD kernel level x pattern-block size x thread
-// count, plus the batch scheduler's task-vs-pattern fan-out policy — and
+// the engine exposes — compute backend x SIMD kernel level x pattern-block
+// size x thread count, plus the batch scheduler's task-vs-pattern fan-out
+// policy — and
 // distill the winners into a core::TuningProfile that `tuning = auto`
 // control files load at run time.
 //
@@ -45,7 +46,7 @@ struct AutotuneOptions {
 
 /// One timed candidate, for the tool's table and the BENCH_tune.json trail.
 struct AutotuneMeasurement {
-  std::string name;          ///< e.g. "eval/simd=avx2/block=64/threads=4"
+  std::string name;  ///< e.g. "eval/backend=simd/simd=avx2/block=64/threads=4"
   double secondsPerUnit = 0; ///< per evaluation (eval/...) or per batch run
 };
 

@@ -71,6 +71,7 @@ TuningProfile localProfile() {
   p.blockSize = 48;
   p.policy = ParallelPolicy::TaskLevel;
   p.simd = linalg::SimdMode::Scalar;
+  p.backend = backend::BackendMode::Reference;
   p.secondsPerEval = 0.1 + 0.2;  // not exactly representable: hexDouble test
   return p;
 }
@@ -87,6 +88,7 @@ TEST(TuningProfileFormat, SerializeParseRoundTripIsExact) {
   EXPECT_EQ(q.blockSize, p.blockSize);
   EXPECT_EQ(q.policy, p.policy);
   EXPECT_EQ(q.simd, p.simd);
+  EXPECT_EQ(q.backend, p.backend);
   EXPECT_EQ(q.secondsPerEval, p.secondsPerEval);  // bit-exact via hex float
   // Serialization is canonical: a round trip reproduces the bytes.
   EXPECT_EQ(q.serialize(), p.serialize());
@@ -111,9 +113,9 @@ TEST(TuningProfileFormat, RefusesCorruptedAndMismatchedInput) {
   // Bad magic.
   EXPECT_THROW(TuningProfile::parse("not-a-profile v1\nend\n", "t"),
                ConfigError);
-  // Version bump.
+  // Version from the future.
   std::string bumped = good;
-  bumped.replace(bumped.find(" v1\n"), 4, " v2\n");
+  bumped.replace(bumped.find(" v2\n"), 4, " v3\n");
   EXPECT_THROW(TuningProfile::parse(bumped, "t"), ConfigError);
   // Unknown field.
   EXPECT_THROW(
@@ -141,6 +143,37 @@ TEST(TuningProfileFormat, RefusesCorruptedAndMismatchedInput) {
     FAIL() << "expected ConfigError";
   } catch (const ConfigError& e) {
     EXPECT_NE(std::string(e.what()).find("origin.tuning"), std::string::npos);
+  }
+}
+
+// v1 files (written before the compute-backend axis existed) must keep
+// loading: no `backend` line, field stays at the Auto sentinel.
+TEST(TuningProfileFormat, V1ProfileParsesWithBackendUnset) {
+  std::string v1 = localProfile().serialize();
+  v1.replace(v1.find(" v2\n"), 4, " v1\n");
+  const auto backendPos = v1.find("backend ");
+  v1.erase(backendPos, v1.find('\n', backendPos) - backendPos + 1);
+
+  const TuningProfile q = TuningProfile::parse(v1, "legacy");
+  EXPECT_EQ(q.backend, backend::BackendMode::Auto);
+  EXPECT_EQ(q.blockSize, 48);  // the rest of the fields read normally
+  EXPECT_EQ(q.numThreads, 3);
+}
+
+// A profile tuned with a backend this build lacks (e.g. blas without
+// -DSLIM_WITH_BLAS) must refuse at load(), naming the backend.
+TEST(TuningProfileLoad, RefusesUnavailableTunedBackend) {
+  if (backend::backendAvailable(backend::BackendKind::Blas))
+    GTEST_SKIP() << "blas backend available in this build";
+  const TempDir dir("blasrefuse");
+  TuningProfile p = localProfile();
+  p.backend = backend::BackendMode::Blas;
+  p.save(dir.file("blas.tuning"));
+  try {
+    TuningProfile::load(dir.file("blas.tuning"));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("blas"), std::string::npos);
   }
 }
 

@@ -2,7 +2,8 @@
 //
 //   slimcodeml_tune [options]
 //
-// Sweeps SIMD level x block size x thread count on a seeded synthetic gene
+// Sweeps compute backend x SIMD level x block size x thread count on a
+// seeded synthetic gene
 // (plus a task-vs-pattern batch fan-out race), prints the measurement
 // table, and writes the winning configuration to a per-host tuning profile
 // that `tuning = auto` control files load at run time (see
@@ -101,7 +102,8 @@ int main(int argc, char** argv) {
                 << std::setprecision(3) << m.secondsPerUnit << '\n';
 
     const core::TuningProfile& p = result.profile;
-    std::cerr << "\nwinner: simd=" << linalg::simdModeName(p.simd)
+    std::cerr << "\nwinner: backend=" << backend::backendModeName(p.backend)
+              << " simd=" << linalg::simdModeName(p.simd)
               << " blockSize=" << p.blockSize << " threads=" << p.numThreads
               << " parallel=" << core::parallelPolicyName(p.policy) << " ("
               << std::scientific << std::setprecision(3) << p.secondsPerEval
