@@ -1,0 +1,5 @@
+* leading comment
+
+seqfile = a.fa * trailing
+   treefile   =   b.nwk
+seed = 18446744073709551615

@@ -1,0 +1,2 @@
+seqfile = gene.fasta
+treefile = gene.nwk

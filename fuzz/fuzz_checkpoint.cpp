@@ -1,0 +1,25 @@
+// Fuzz target: the checkpoint parser (core::Checkpoint::parse).  A
+// checkpoint file survives crashes by design, so a corrupted or truncated
+// one is an expected input, not an edge case: the contract is parse or
+// throw the keyed ConfigError naming the offending line — never crash,
+// never silently load garbage state.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "core/checkpoint.hpp"
+#include "core/config.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const slim::core::Checkpoint ck =
+        slim::core::Checkpoint::parse(text, "fuzz");
+    (void)ck;
+  } catch (const slim::core::ConfigError&) {
+    // Keyed rejection is the contract for corrupt or truncated state.
+  }
+  return 0;
+}

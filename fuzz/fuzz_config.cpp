@@ -1,0 +1,23 @@
+// Fuzz target: the ctl-file config parser (core::Config::parseString).
+// This is the daemon's submit path — every byte comes straight off the
+// socket — so the contract is strict: parse or throw the keyed ConfigError,
+// never crash, never throw anything else.  parseString does no file I/O;
+// seqfile/treefile are only recorded, not opened.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "core/config.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    const slim::core::Config cfg = slim::core::Config::parseString(text);
+    (void)cfg;
+  } catch (const slim::core::ConfigError&) {
+    // Keyed rejection is the contract for malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fuzz target: the slimcodeml-serve-v1 request parser
+// (serve::parseRequest).  One request line off the UNIX socket; the
+// contract is parse or throw the keyed ProtocolError/JsonError — never
+// crash.  The daemon's connection loop turns these into error responses, so
+// anything else escaping here would take the whole daemon down.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+#include "support/json_parse.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view line(reinterpret_cast<const char*>(data), size);
+  try {
+    const slim::serve::Request req = slim::serve::parseRequest(line);
+    (void)req;
+  } catch (const slim::serve::ProtocolError&) {
+    // Keyed rejection is the contract for malformed requests.
+  } catch (const slim::support::JsonError&) {
+    // parseRequest documents JsonError for malformed JSON framing.
+  }
+  return 0;
+}

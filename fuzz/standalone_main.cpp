@@ -1,0 +1,256 @@
+// Standalone fuzz driver: replay + deterministic mutation for toolchains
+// without libFuzzer (GCC builds; the local dev loop).  When the harnesses
+// are compiled with Clang's -fsanitize=fuzzer this TU is not linked —
+// libFuzzer provides main() and its coverage-guided loop is strictly
+// better.  This driver keeps the same target ABI (LLVMFuzzerTestOneInput)
+// so corpus files and crash reproducers are interchangeable between the
+// two.
+//
+// Modes:
+//   fuzz_x FILE...                 replay inputs (regression / repro)
+//   fuzz_x --mutate DIR [options]  mutate the corpus under DIR
+//     --rounds N     executions (default 20000; 0 = unbounded)
+//     --seconds S    stop after S seconds (default 0 = no time limit)
+//     --seed S       PRNG seed (default 1); same seed => same sequence
+//     --max-len L    cap generated inputs (default 65536)
+//
+// Determinism: the mutator is a self-contained xorshift64* PRNG — no
+// time()/random_device anywhere — so a crashing round is reproducible from
+// (corpus, seed, round count) alone; on an escaped exception the exact
+// input is additionally saved to crash-<pid>.bin.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options {
+  std::vector<std::string> replayFiles;
+  std::string corpusDir;
+  std::uint64_t rounds = 20000;
+  double seconds = 0;
+  std::uint64_t seed = 1;
+  std::size_t maxLen = 65536;
+};
+
+class XorShift {
+ public:
+  explicit XorShift(std::uint64_t seed) : state_(seed ? seed : 0x9E3779B9ull) {}
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+  std::size_t below(std::size_t bound) {
+    return bound == 0 ? 0 : static_cast<std::size_t>(next() % bound);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::vector<std::uint8_t> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::cerr << "fuzz: cannot open '" << path << "'\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string s = buf.str();
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::vector<std::uint8_t>> loadCorpus(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::recursive_directory_iterator(dir, ec))
+    if (entry.is_regular_file()) paths.push_back(entry.path().string());
+  if (ec) {
+    std::cerr << "fuzz: cannot read corpus dir '" << dir << "'\n";
+    std::exit(2);
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic corpus order
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.reserve(paths.size());
+  for (const auto& p : paths) corpus.push_back(readFile(p));
+  return corpus;
+}
+
+/// One mutation step: pick an operator, apply in place.
+void mutate(std::vector<std::uint8_t>& data,
+            const std::vector<std::vector<std::uint8_t>>& corpus,
+            XorShift& rng, std::size_t maxLen) {
+  switch (rng.below(6)) {
+    case 0: {  // flip a bit
+      if (data.empty()) break;
+      data[rng.below(data.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+      break;
+    }
+    case 1: {  // overwrite a byte with an interesting value
+      if (data.empty()) break;
+      static constexpr std::uint8_t kInteresting[] = {
+          0x00, 0x01, 0x7F, 0x80, 0xFF, '\n', '\r', ' ', '"', '\\',
+          '{',  '}',  '[',  ']',  '-',  '0',  '9',  'e', '.', 'v'};
+      data[rng.below(data.size())] =
+          kInteresting[rng.below(sizeof kInteresting)];
+      break;
+    }
+    case 2: {  // delete a range
+      if (data.size() < 2) break;
+      const std::size_t from = rng.below(data.size());
+      const std::size_t len = 1 + rng.below(data.size() - from);
+      data.erase(data.begin() + static_cast<std::ptrdiff_t>(from),
+                 data.begin() + static_cast<std::ptrdiff_t>(from + len));
+      break;
+    }
+    case 3: {  // insert random bytes
+      const std::size_t len = 1 + rng.below(8);
+      if (data.size() + len > maxLen) break;
+      const std::size_t at = rng.below(data.size() + 1);
+      std::vector<std::uint8_t> bytes(len);
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(at),
+                  bytes.begin(), bytes.end());
+      break;
+    }
+    case 4: {  // duplicate a range (repetition stresses depth/size limits)
+      if (data.empty() || data.size() * 2 > maxLen) break;
+      const std::size_t from = rng.below(data.size());
+      const std::size_t len = 1 + rng.below(data.size() - from);
+      std::vector<std::uint8_t> copy(data.begin() +
+                                         static_cast<std::ptrdiff_t>(from),
+                                     data.begin() + static_cast<std::ptrdiff_t>(
+                                                        from + len));
+      const std::size_t at = rng.below(data.size() + 1);
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(at),
+                  copy.begin(), copy.end());
+      break;
+    }
+    case 5: {  // splice with another corpus entry
+      if (corpus.empty()) break;
+      const auto& other = corpus[rng.below(corpus.size())];
+      if (other.empty()) break;
+      const std::size_t cut = rng.below(data.size() + 1);
+      const std::size_t from = rng.below(other.size());
+      data.resize(cut);
+      data.insert(data.end(), other.begin() +
+                                  static_cast<std::ptrdiff_t>(from),
+                  other.end());
+      if (data.size() > maxLen) data.resize(maxLen);
+      break;
+    }
+  }
+}
+
+int run(const std::vector<std::uint8_t>& input) {
+  try {
+    return LLVMFuzzerTestOneInput(input.data(), input.size());
+  } catch (const std::exception& e) {
+    const std::string file = "crash-" + std::to_string(::getpid()) + ".bin";
+    std::ofstream out(file, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(input.data()),
+              static_cast<std::streamsize>(input.size()));
+    out.close();
+    std::cerr << "fuzz: escaped exception (" << e.what()
+              << "); input saved to " << file << "\n";
+    std::abort();
+  }
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " FILE...\n"
+            << "       " << argv0
+            << " --mutate DIR [--rounds N] [--seconds S] [--seed S]"
+               " [--max-len L]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--mutate") {
+      opt.corpusDir = value();
+    } else if (arg == "--rounds") {
+      opt.rounds = std::stoull(value());
+    } else if (arg == "--seconds") {
+      opt.seconds = std::stod(value());
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(value());
+    } else if (arg == "--max-len") {
+      opt.maxLen = std::stoull(value());
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(argv[0]);
+    } else {
+      opt.replayFiles.push_back(arg);
+    }
+  }
+  if (opt.corpusDir.empty() && opt.replayFiles.empty()) return usage(argv[0]);
+
+  // Replay mode: every file once, in command-line order.
+  for (const auto& path : opt.replayFiles) {
+    run(readFile(path));
+    std::cout << "ok " << path << "\n";
+  }
+  if (opt.corpusDir.empty()) return 0;
+
+  // Mutation mode.
+  const auto corpus = loadCorpus(opt.corpusDir);
+  if (corpus.empty()) {
+    std::cerr << "fuzz: corpus dir '" << opt.corpusDir << "' is empty\n";
+    return 2;
+  }
+  for (const auto& entry : corpus) run(entry);  // corpus must stay green
+
+  XorShift rng(opt.seed);
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t executed = 0;
+  for (std::uint64_t round = 0; opt.rounds == 0 || round < opt.rounds;
+       ++round) {
+    if (opt.seconds > 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() >= opt.seconds)
+      break;
+    std::vector<std::uint8_t> input = corpus[rng.below(corpus.size())];
+    const std::size_t steps = 1 + rng.below(8);
+    for (std::size_t s = 0; s < steps; ++s)
+      mutate(input, corpus, rng, opt.maxLen);
+    run(input);
+    ++executed;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::cout << "done: " << executed << " mutated executions over "
+            << corpus.size() << " corpus entries in " << elapsed << "s\n";
+  return 0;
+}

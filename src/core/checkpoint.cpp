@@ -554,14 +554,17 @@ std::unique_ptr<CheckpointManager> CheckpointManager::open(
         hexU64(configHash) +
         ") — the run configuration changed since this checkpoint was "
         "written; refusing to resume a different trajectory");
-  mgr->data_ = std::move(loaded);
+  {
+    support::MutexLock lock(mgr->mutex_);
+    mgr->data_ = std::move(loaded);
+  }
   mgr->resumed_ = true;
   return mgr;
 }
 
 std::optional<FitResult> CheckpointManager::completedFit(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   const auto it = data_.completed.find(key);
   if (it == data_.completed.end()) return std::nullopt;
   FitResult fit = it->second;
@@ -572,7 +575,7 @@ std::optional<FitResult> CheckpointManager::completedFit(
 
 std::optional<opt::BfgsState> CheckpointManager::inFlightState(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   const auto it = data_.inFlight.find(key);
   if (it == data_.inFlight.end()) return std::nullopt;
   return it->second;
@@ -580,20 +583,24 @@ std::optional<opt::BfgsState> CheckpointManager::inFlightState(
 
 opt::BfgsCheckpointSink CheckpointManager::fitSink(const std::string& key) {
   return [this, key](const opt::BfgsState& state) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    data_.inFlight[key] = state;
-    const auto now = std::chrono::steady_clock::now();
-    if (wroteOnce_ && everySeconds_ > 0 &&
-        std::chrono::duration<double>(now - lastWrite_).count() <
-            everySeconds_)
-      return;
-    persist(std::move(lock));
+    std::optional<Snapshot> snap;
+    {
+      support::MutexLock lock(mutex_);
+      data_.inFlight[key] = state;
+      const auto now = std::chrono::steady_clock::now();
+      const bool throttled =
+          wroteOnce_ && everySeconds_ > 0 &&
+          std::chrono::duration<double>(now - lastWrite_).count() <
+              everySeconds_;
+      if (!throttled) snap = snapshotLocked();
+    }
+    if (snap) writeSnapshot(*snap);
   };
 }
 
 std::optional<opt::NelderMeadState> CheckpointManager::nmState(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   const auto it = data_.inFlightNm.find(key);
   if (it == data_.inFlightNm.end()) return std::nullopt;
   return it->second;
@@ -602,48 +609,64 @@ std::optional<opt::NelderMeadState> CheckpointManager::nmState(
 opt::NelderMeadCheckpointSink CheckpointManager::nmSink(
     const std::string& key) {
   return [this, key](const opt::NelderMeadState& state) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    data_.inFlightNm[key] = state;
-    const auto now = std::chrono::steady_clock::now();
-    if (wroteOnce_ && everySeconds_ > 0 &&
-        std::chrono::duration<double>(now - lastWrite_).count() <
-            everySeconds_)
-      return;
-    persist(std::move(lock));
+    std::optional<Snapshot> snap;
+    {
+      support::MutexLock lock(mutex_);
+      data_.inFlightNm[key] = state;
+      const auto now = std::chrono::steady_clock::now();
+      const bool throttled =
+          wroteOnce_ && everySeconds_ > 0 &&
+          std::chrono::duration<double>(now - lastWrite_).count() <
+              everySeconds_;
+      if (!throttled) snap = snapshotLocked();
+    }
+    if (snap) writeSnapshot(*snap);
   };
 }
 
 void CheckpointManager::recordCompleted(const std::string& key,
                                         const FitResult& result) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  FitResult persisted = result;
-  // Provenance is per-process, not part of the task's identity on disk.
-  persisted.resumedFrom.clear();
-  persisted.iterationsReplayed = 0;
-  data_.completed[key] = std::move(persisted);
-  data_.inFlight.erase(key);
-  data_.inFlightNm.erase(key);
-  persist(std::move(lock));  // completions always persist, never throttled
+  Snapshot snap;
+  {
+    support::MutexLock lock(mutex_);
+    FitResult persisted = result;
+    // Provenance is per-process, not part of the task's identity on disk.
+    persisted.resumedFrom.clear();
+    persisted.iterationsReplayed = 0;
+    data_.completed[key] = std::move(persisted);
+    data_.inFlight.erase(key);
+    data_.inFlightNm.erase(key);
+    snap = snapshotLocked();  // completions always persist, never throttled
+  }
+  writeSnapshot(snap);
 }
 
 void CheckpointManager::flush() {
-  persist(std::unique_lock<std::mutex>(mutex_));
+  Snapshot snap;
+  {
+    support::MutexLock lock(mutex_);
+    snap = snapshotLocked();
+  }
+  writeSnapshot(snap);
 }
 
-void CheckpointManager::persist(std::unique_lock<std::mutex> lock) {
-  const std::string payload = data_.serialize();
-  const std::uint64_t seq = ++sequence_;
+CheckpointManager::Snapshot CheckpointManager::snapshotLocked() {
+  Snapshot snap;
+  snap.payload = data_.serialize();
+  snap.seq = ++sequence_;
   lastWrite_ = std::chrono::steady_clock::now();
   wroteOnce_ = true;
-  lock.unlock();  // the disk I/O must not stall concurrently fitting tasks
+  return snap;
+}
 
-  std::lock_guard<std::mutex> writeLock(writeMutex_);
+void CheckpointManager::writeSnapshot(const Snapshot& snap) {
+  support::MutexLock writeLock(writeMutex_);
   // A writer that captured an older image and lost the race to the file
   // mutex must not roll the on-disk checkpoint backwards (it could even
   // un-record a completed fit).
-  if (seq <= writtenSequence_) return;
-  support::writeFileAtomic(path_, payload);
-  writtenSequence_ = seq;
+  if (snap.seq <= writtenSequence_) return;
+  support::writeFileAtomic(path_, snap.payload);
+  writtenSequence_ = snap.seq;
 }
 
 std::string fitTaskKey(int geneIndex, std::string_view geneName,

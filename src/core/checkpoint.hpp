@@ -33,13 +33,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "core/context.hpp"
 #include "opt/checkpoint.hpp"
+#include "support/thread_safety.hpp"
 
 namespace slim::core {
 
@@ -135,22 +135,36 @@ class CheckpointManager {
   bool resumedFromFile() const noexcept { return resumed_; }
 
  private:
-  /// Serialize under `lock` (which it releases), then write to disk outside
-  /// the data mutex — concurrently fitting tasks must not stall behind an
-  /// fsync.  A sequence number keeps a slow writer from publishing an older
-  /// image over a newer one.
-  void persist(std::unique_lock<std::mutex> lock);
+  /// One serialized checkpoint image plus its position in the write order.
+  /// Persistence is split in two so each half is annotatable: snapshotLocked
+  /// serializes under the data mutex, writeSnapshot does the disk I/O
+  /// outside it — concurrently fitting tasks must not stall behind an fsync.
+  struct Snapshot {
+    std::string payload;
+    std::uint64_t seq = 0;
+  };
+
+  /// Serialize the current state, stamp the write throttle, and take the
+  /// next sequence number.  Caller holds mutex_.
+  Snapshot snapshotLocked() SLIM_REQUIRES(mutex_);
+
+  /// Atomically write `snap` to path_ unless a newer image already landed
+  /// (the sequence number keeps a slow writer from publishing an older image
+  /// over a newer one).  Must be called with mutex_ released.
+  void writeSnapshot(const Snapshot& snap) SLIM_EXCLUDES(mutex_);
 
   std::string path_;
   double everySeconds_;
   bool resumed_ = false;
-  mutable std::mutex mutex_;  ///< Guards data_, lastWrite_, wroteOnce_, sequence_.
-  Checkpoint data_;
-  std::chrono::steady_clock::time_point lastWrite_;
-  bool wroteOnce_ = false;
-  std::uint64_t sequence_ = 0;
-  std::mutex writeMutex_;  ///< Guards the file write and writtenSequence_.
-  std::uint64_t writtenSequence_ = 0;
+  mutable support::Mutex mutex_;
+  Checkpoint data_ SLIM_GUARDED_BY(mutex_);
+  std::chrono::steady_clock::time_point lastWrite_ SLIM_GUARDED_BY(mutex_);
+  bool wroteOnce_ SLIM_GUARDED_BY(mutex_) = false;
+  std::uint64_t sequence_ SLIM_GUARDED_BY(mutex_) = 0;
+  /// Serializes file writes; never held together with mutex_ (snapshot
+  /// under mutex_, release, then write under writeMutex_).
+  support::Mutex writeMutex_;
+  std::uint64_t writtenSequence_ SLIM_GUARDED_BY(writeMutex_) = 0;
 };
 
 /// Canonical checkpoint key of one fit task.  The gene index pins identity

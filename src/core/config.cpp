@@ -202,8 +202,13 @@ Config Config::parse(std::istream& in) {
       badLine(lineNo, "unknown key '" + key + "'");
     }
   }
-  SLIM_REQUIRE(!cfg.seqfile.empty(), "control file: seqfile is required");
-  SLIM_REQUIRE(!cfg.treefile.empty(), "control file: treefile is required");
+  // Keyed like every other parse failure: hostile or truncated ctl text must
+  // surface as ConfigError (the fuzz harness and the daemon's submit path
+  // both key on it), not a bare precondition failure.
+  if (cfg.seqfile.empty())
+    throw ConfigError("control file: seqfile is required");
+  if (cfg.treefile.empty())
+    throw ConfigError("control file: treefile is required");
   return cfg;
 }
 

@@ -17,13 +17,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "backend/compute_backend.hpp"
 #include "backend/expm_pade.hpp"
 #include "linalg/matrix.hpp"
+#include "support/thread_safety.hpp"
 
 namespace slim::lik {
 
@@ -80,29 +80,33 @@ struct PropagatorCacheShard {
 class SharedPropagatorCache {
  public:
   std::shared_ptr<PropagatorCacheShard> shard(int slot) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     auto& s = shards_[slot];
     if (!s) s = std::make_shared<PropagatorCacheShard>();
     return s;
   }
 
   std::size_t numShards() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return shards_.size();
   }
 
   /// Total cached propagators across shards (diagnostics only; racy against
   /// a concurrently-filling task in the benign sense of a stale count).
   std::size_t totalEntries() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     std::size_t n = 0;
+    // Unordered iteration is fine here: addition is commutative, and the
+    // count never feeds a reduction or report.
+    // slim-lint: allow(determinism)
     for (const auto& [slot, s] : shards_) n += s->entries.size();
     return n;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<int, std::shared_ptr<PropagatorCacheShard>> shards_;
+  mutable support::Mutex mutex_;
+  std::unordered_map<int, std::shared_ptr<PropagatorCacheShard>> shards_
+      SLIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace slim::lik

@@ -78,7 +78,7 @@ ContextCache::Lease ContextCache::acquire(const std::string& seqfile,
   const std::uint64_t treeHash =
       fnv1a(readFileBytes(config.treefile, "tree file"));
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   std::shared_ptr<Entry> found;
   for (const auto& entry : entries_) {
     if (entry->alignmentHash == alignmentHash && entry->treeHash == treeHash &&
@@ -143,14 +143,14 @@ ContextCache::Lease ContextCache::acquire(const std::string& seqfile,
 }
 
 void ContextCache::release(const std::shared_ptr<void>& entryHandle) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   auto* entry = static_cast<Entry*>(entryHandle.get());
   entry->inUse = false;
   entry->lastUse = ++useCounter_;
 }
 
 ContextCacheStats ContextCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   ContextCacheStats s = stats_;
   s.entries = entries_.size();
   return s;

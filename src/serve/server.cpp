@@ -23,6 +23,7 @@
 #include "support/json.hpp"
 #include "support/json_parse.hpp"
 #include "support/require.hpp"
+#include "support/thread_safety.hpp"
 
 namespace slim::serve {
 
@@ -122,7 +123,7 @@ struct AnalysisServer::Impl {
 
   // --- queue side ---
   void workerLoop();
-  std::shared_ptr<Job> nextQueuedLocked();
+  std::shared_ptr<Job> nextQueuedLocked() SLIM_REQUIRES(mutex);
   struct RunOutcome {
     std::string report;
     std::string error;
@@ -138,8 +139,8 @@ struct AnalysisServer::Impl {
   std::string checkpointPath(const std::string& id) const {
     return options.stateDir + "/" + id + ".ckpt";
   }
-  void persistJournalLocked();
-  void recoverJournal();
+  void persistJournalLocked() SLIM_REQUIRES(mutex);
+  void recoverJournal() SLIM_REQUIRES(mutex);
 
   /// Submit-time validation shared by live submissions and recovery.
   /// Returns an error message, or empty when the ctl is acceptable.
@@ -152,22 +153,28 @@ struct AnalysisServer::Impl {
   std::atomic<bool> stopping{false};       ///< Cancels fits, stops workers.
   std::atomic<bool> draining{false};       ///< Stops admission.
   std::atomic<bool> stopRequested{false};  ///< Owner should call drainAndStop.
-  bool suppressPersist = false;            ///< abortStop: emulate SIGKILL.
+  // started/stopped are touched only by the owning thread (construction,
+  // start(), the stop entry points, destruction) — never by workers or
+  // connection threads, so they need no mutex.
   bool started = false;
   bool stopped = false;
 
-  mutable std::mutex mutex;  ///< Guards jobs, nextSeq, journal writes.
-  std::condition_variable cv;
-  std::map<std::string, std::shared_ptr<Job>> jobs;
-  std::uint64_t nextSeq = 1;
+  mutable support::Mutex mutex;  ///< Guards jobs, nextSeq, journal writes.
+  support::CondVar cv;
+  // Job objects themselves (state/error/result/deadline fields) are also
+  // only mutated under `mutex`, but live in a separate struct the analysis
+  // cannot tie to it; that discipline is by convention plus the TSan job.
+  std::map<std::string, std::shared_ptr<Job>> jobs SLIM_GUARDED_BY(mutex);
+  std::uint64_t nextSeq SLIM_GUARDED_BY(mutex) = 1;
+  bool suppressPersist SLIM_GUARDED_BY(mutex) = false;  ///< abortStop: SIGKILL.
 
   ContextCache cache;
 
   std::vector<std::thread> workers;
   std::thread acceptThread;
-  std::mutex connMutex;
-  std::vector<int> connFds;
-  std::vector<std::thread> connThreads;
+  support::Mutex connMutex;
+  std::vector<int> connFds SLIM_GUARDED_BY(connMutex);
+  std::vector<std::thread> connThreads SLIM_GUARDED_BY(connMutex);
 };
 
 AnalysisServer::Impl::Impl(ServerOptions opts)
@@ -176,6 +183,9 @@ AnalysisServer::Impl::Impl(ServerOptions opts)
   SLIM_REQUIRE(options.workers > 0, "serve: workers must be > 0");
   if (!options.stateDir.empty()) {
     fs::create_directories(options.stateDir);
+    // No other thread exists yet; the lock exists so recoverJournal's
+    // SLIM_REQUIRES(mutex) contract holds on this call path too.
+    support::MutexLock lock(mutex);
     recoverJournal();
   }
   setUpSocket();
@@ -247,7 +257,7 @@ void AnalysisServer::Impl::start() {
 void AnalysisServer::Impl::stopThreads() {
   stopping.store(true);
   draining.store(true);
-  cv.notify_all();
+  cv.notifyAll();
   // Wake the accept loop and kick every open connection so blocked reads
   // (including `result wait`ers, woken via cv above) unwind promptly.
   if (wakePipe[1] >= 0) {
@@ -255,7 +265,7 @@ void AnalysisServer::Impl::stopThreads() {
     [[maybe_unused]] const ssize_t n = ::write(wakePipe[1], &x, 1);
   }
   {
-    std::lock_guard<std::mutex> lock(connMutex);
+    support::MutexLock lock(connMutex);
     for (const int fd : connFds)
       if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   }
@@ -265,7 +275,7 @@ void AnalysisServer::Impl::stopThreads() {
   // Connection threads exit once their fd is shut down.
   std::vector<std::thread> conns;
   {
-    std::lock_guard<std::mutex> lock(connMutex);
+    support::MutexLock lock(connMutex);
     conns.swap(connThreads);
   }
   for (auto& t : conns) t.join();
@@ -278,7 +288,7 @@ void AnalysisServer::Impl::drainAndStop() {
   // must be able to bind without waiting for this object's destructor.
   closeSocket(/*unlinkFile=*/true);
   {
-    std::unique_lock<std::mutex> lock(mutex);
+    support::MutexLock lock(mutex);
     if (!options.stateDir.empty()) persistJournalLocked();
   }
   stopped = true;
@@ -289,7 +299,7 @@ void AnalysisServer::Impl::abortStop() {
   {
     // A real SIGKILL persists nothing past the last journal/checkpoint
     // write; suppress every further persist before interrupting the fits.
-    std::lock_guard<std::mutex> lock(mutex);
+    support::MutexLock lock(mutex);
     suppressPersist = true;
   }
   stopThreads();
@@ -312,7 +322,7 @@ void AnalysisServer::Impl::acceptLoop() {
     if ((pfds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listenFd, nullptr, nullptr);
     if (fd < 0) continue;
-    std::lock_guard<std::mutex> lock(connMutex);
+    support::MutexLock lock(connMutex);
     if (stopping.load()) {
       ::close(fd);
       return;
@@ -358,7 +368,7 @@ void AnalysisServer::Impl::connectionLoop(int fd) {
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
   ::close(fd);
-  std::lock_guard<std::mutex> lock(connMutex);
+  support::MutexLock lock(connMutex);
   if (const auto it = std::find(connFds.begin(), connFds.end(), fd);
       it != connFds.end())
     *it = -1;
@@ -382,7 +392,7 @@ std::string AnalysisServer::Impl::handleLine(const std::string& line) {
     case Op::Drain: {
       draining.store(true);
       stopRequested.store(true);
-      cv.notify_all();
+      cv.notifyAll();
       return std::string("{\"schema\":\"") + std::string(kServeSchema) +
              "\",\"ok\":true,\"op\":\"drain\"}";
     }
@@ -416,7 +426,7 @@ std::string AnalysisServer::Impl::handleSubmit(const Request& req) {
         "daemon was started without --state; checkpointed jobs are "
         "unavailable");
 
-  std::unique_lock<std::mutex> lock(mutex);
+  support::MutexLock lock(mutex);
   if (draining.load())
     return errorResponse("server is draining; not accepting jobs");
   std::size_t queued = 0;
@@ -438,7 +448,7 @@ std::string AnalysisServer::Impl::handleSubmit(const Request& req) {
   jobs.emplace(job->id, job);
   if (!options.stateDir.empty() && !suppressPersist) persistJournalLocked();
   lock.unlock();
-  cv.notify_all();
+  cv.notifyAll();
 
   std::ostringstream os;
   os << "{\"schema\":\"" << kServeSchema
@@ -449,7 +459,7 @@ std::string AnalysisServer::Impl::handleSubmit(const Request& req) {
 }
 
 std::string AnalysisServer::Impl::handleStatus(const Request& req) {
-  std::unique_lock<std::mutex> lock(mutex);
+  support::MutexLock lock(mutex);
   if (!req.id.empty()) {
     const auto it = jobs.find(req.id);
     if (it == jobs.end())
@@ -494,7 +504,7 @@ std::string AnalysisServer::Impl::handleStatus(const Request& req) {
 }
 
 std::string AnalysisServer::Impl::handleResult(const Request& req) {
-  std::unique_lock<std::mutex> lock(mutex);
+  support::MutexLock lock(mutex);
   const auto it = jobs.find(req.id);
   if (it == jobs.end())
     return errorResponse("unknown job id \"" + req.id + "\"");
@@ -527,7 +537,7 @@ std::string AnalysisServer::Impl::handleResult(const Request& req) {
 }
 
 std::string AnalysisServer::Impl::handleCancel(const Request& req) {
-  std::unique_lock<std::mutex> lock(mutex);
+  support::MutexLock lock(mutex);
   const auto it = jobs.find(req.id);
   if (it == jobs.end())
     return errorResponse("unknown job id \"" + req.id + "\"");
@@ -543,7 +553,7 @@ std::string AnalysisServer::Impl::handleCancel(const Request& req) {
   }
   const JobState state = job.state;
   lock.unlock();
-  cv.notify_all();
+  cv.notifyAll();
 
   std::ostringstream os;
   os << "{\"schema\":\"" << kServeSchema
@@ -570,8 +580,8 @@ void AnalysisServer::Impl::workerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mutex);
-      cv.wait(lock, [&] {
+      support::MutexLock lock(mutex);
+      cv.wait(lock, [&]() SLIM_REQUIRES(mutex) {
         return stopping.load() || nextQueuedLocked() != nullptr;
       });
       if (stopping.load()) return;
@@ -592,12 +602,12 @@ void AnalysisServer::Impl::workerLoop() {
       }
       if (!options.stateDir.empty() && !suppressPersist) persistJournalLocked();
     }
-    cv.notify_all();
+    cv.notifyAll();
 
     const RunOutcome out = runJob(*job);
 
     {
-      std::unique_lock<std::mutex> lock(mutex);
+      support::MutexLock lock(mutex);
       if (!out.error.empty()) {
         job->state = JobState::Failed;
         job->error = out.error;
@@ -622,7 +632,7 @@ void AnalysisServer::Impl::workerLoop() {
       }
       if (!options.stateDir.empty() && !suppressPersist) persistJournalLocked();
     }
-    cv.notify_all();
+    cv.notifyAll();
   }
 }
 

@@ -1,0 +1,156 @@
+#pragma once
+// Clang Thread Safety Analysis support: capability-annotated mutex wrappers.
+//
+// The engine's headline guarantees — bit-identical lnL across threads and
+// policies, crash-safe atomic persistence, a concurrent daemon — all lean on
+// locking discipline that used to be enforced only dynamically (the TSan CI
+// job).  This header makes the discipline *machine-checked at compile time*:
+// every mutex-bearing class declares which state its mutex guards
+// (SLIM_GUARDED_BY) and which functions expect the lock held
+// (SLIM_REQUIRES), and the static-analysis CI cell compiles with
+// `-Wthread-safety -Wthread-safety-beta -Werror`, so forgetting a lock is a
+// build break, not a race TSan may or may not reach.
+//
+// On non-Clang compilers every macro expands to nothing and slim::support::
+// Mutex / MutexLock / CondVar behave exactly like std::mutex /
+// std::lock_guard / std::condition_variable_any — the annotations never
+// change behaviour, only what the Clang analysis can prove.
+//
+// Usage pattern (see docs/concurrency.md for the repo's lock hierarchy):
+//
+//   class Cache {
+//    public:
+//     int size() const {
+//       MutexLock lock(mutex_);
+//       return static_cast<int>(entries_.size());
+//     }
+//    private:
+//     void evictLocked() SLIM_REQUIRES(mutex_);
+//     mutable Mutex mutex_;
+//     std::map<Key, Entry> entries_ SLIM_GUARDED_BY(mutex_);
+//   };
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+// NOLINTNEXTLINE(bugprone-macro-parentheses): attribute args can't be ()'d.
+#define SLIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SLIM_THREAD_ANNOTATION(x)
+#endif
+
+/// On a class: instances are a capability ("mutex") the analysis tracks.
+#define SLIM_CAPABILITY(x) SLIM_THREAD_ANNOTATION(capability(x))
+
+/// On a class: RAII object that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SLIM_SCOPED_CAPABILITY SLIM_THREAD_ANNOTATION(scoped_lockable)
+
+/// On a data member: reads and writes require holding the named mutex.
+#define SLIM_GUARDED_BY(x) SLIM_THREAD_ANNOTATION(guarded_by(x))
+
+/// On a pointer member: the *pointed-to* data is guarded by the named mutex.
+#define SLIM_PT_GUARDED_BY(x) SLIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// On a mutex member: document (and check) lock-ordering edges.
+#define SLIM_ACQUIRED_BEFORE(...) \
+  SLIM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SLIM_ACQUIRED_AFTER(...) \
+  SLIM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// On a function: callers must hold the named mutex(es).
+#define SLIM_REQUIRES(...) \
+  SLIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// On a function: acquires/releases the named mutex(es).
+#define SLIM_ACQUIRE(...) \
+  SLIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SLIM_RELEASE(...) \
+  SLIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SLIM_TRY_ACQUIRE(...) \
+  SLIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// On a function: callers must NOT hold the named mutex(es) (deadlock guard).
+#define SLIM_EXCLUDES(...) SLIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// On a function: returns a reference to the named mutex.
+#define SLIM_RETURN_CAPABILITY(x) SLIM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for protocols the analysis cannot express; every use must
+/// carry a comment explaining the actual synchronization.
+#define SLIM_NO_THREAD_SAFETY_ANALYSIS \
+  SLIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace slim::support {
+
+/// std::mutex with a capability annotation so members can be declared
+/// SLIM_GUARDED_BY(mutex_) and functions SLIM_REQUIRES(mutex_).
+class SLIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SLIM_ACQUIRE() { m_.lock(); }
+  void unlock() SLIM_RELEASE() { m_.unlock(); }
+  bool try_lock() SLIM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock over Mutex (the annotated counterpart of std::unique_lock):
+/// locks on construction, unlocks on destruction, and supports the early
+/// unlock / relock the persistence paths need (serialize under the lock,
+/// write to disk outside it).  Also a BasicLockable, so CondVar can wait on
+/// it.
+class SLIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) SLIM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() SLIM_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() SLIM_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+  void unlock() SLIM_RELEASE() {
+    held_ = false;
+    mutex_.unlock();
+  }
+
+ private:
+  Mutex& mutex_;
+  bool held_ = true;
+};
+
+/// Condition variable waiting on MutexLock.  Implemented over
+/// std::condition_variable_any; the predicate overload re-checks under the
+/// lock exactly like std::condition_variable::wait.  A predicate that reads
+/// SLIM_GUARDED_BY state must itself be annotated:
+///
+///   cv_.wait(lock, [&]() SLIM_REQUIRES(mutex_) { return ready_; });
+class CondVar {
+ public:
+  void notifyOne() noexcept { cv_.notify_one(); }
+  void notifyAll() noexcept { cv_.notify_all(); }
+
+  void wait(MutexLock& lock) { cv_.wait(lock); }
+
+  template <class Predicate>
+  void wait(MutexLock& lock, Predicate pred) {
+    cv_.wait(lock, pred);
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace slim::support

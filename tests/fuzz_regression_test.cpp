@@ -1,0 +1,136 @@
+// Permanent regression suite for the fuzzed parsers: replays the seed
+// corpus (fuzz/corpus/<target>/) and every checked-in crash reproducer
+// (fuzz/crashes/<target>/) through the same code paths the fuzz harnesses
+// drive, asserting the parsers' hostile-input contract — parse or throw the
+// keyed error type, never anything else, never UB (the ASan+UBSan CI cell
+// runs this test sanitized).
+//
+// When a fuzzer finds a crash, the input file is committed under
+// fuzz/crashes/<target>/ and this test makes the fix permanent.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/config.hpp"
+#include "serve/protocol.hpp"
+#include "support/json_parse.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> inputsFor(const std::string& target) {
+  std::vector<std::string> paths;
+  for (const char* bucket : {"corpus", "crashes"}) {
+    const fs::path dir = fs::path(SLIM_FUZZ_DIR) / bucket / target;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end; ++it)
+      if (it->is_regular_file()) paths.push_back(it->path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Runs `parse` on every corpus/crash input of `target`.  The contract is
+/// encoded by the catch clauses in `parse` itself: expected keyed errors
+/// are swallowed there; anything else propagates and fails the test.
+template <typename Fn>
+void replay(const std::string& target, Fn parse) {
+  const auto inputs = inputsFor(target);
+  ASSERT_FALSE(inputs.empty())
+      << "no inputs for '" << target << "' under " << SLIM_FUZZ_DIR;
+  for (const auto& path : inputs) {
+    const std::string text = readFile(path);
+    EXPECT_NO_THROW(parse(text)) << path;
+  }
+}
+
+}  // namespace
+
+TEST(FuzzRegression, JsonParserKeepsItsContract) {
+  replay("json", [](const std::string& text) {
+    try {
+      (void)slim::support::parseJson(text);
+    } catch (const slim::support::JsonError&) {
+    }
+  });
+}
+
+TEST(FuzzRegression, ConfigParserKeepsItsContract) {
+  replay("config", [](const std::string& text) {
+    try {
+      (void)slim::core::Config::parseString(text);
+    } catch (const slim::core::ConfigError&) {
+    }
+  });
+}
+
+TEST(FuzzRegression, CheckpointParserKeepsItsContract) {
+  replay("checkpoint", [](const std::string& text) {
+    try {
+      (void)slim::core::Checkpoint::parse(text, "fuzz-regression");
+    } catch (const slim::core::ConfigError&) {
+    }
+  });
+}
+
+TEST(FuzzRegression, ProtocolParserKeepsItsContract) {
+  replay("protocol", [](const std::string& text) {
+    try {
+      (void)slim::serve::parseRequest(text);
+    } catch (const slim::serve::ProtocolError&) {
+    } catch (const slim::support::JsonError&) {
+    }
+  });
+}
+
+// The seed corpus must also contain *valid* inputs (a corpus of rejects
+// exercises only the error paths): at least one entry per target has to
+// parse cleanly.
+TEST(FuzzRegression, SeedCorpusContainsAcceptingInputs) {
+  int jsonOk = 0, configOk = 0, checkpointOk = 0, protocolOk = 0;
+  for (const auto& p : inputsFor("json"))
+    try {
+      (void)slim::support::parseJson(readFile(p));
+      ++jsonOk;
+    } catch (const slim::support::JsonError&) {
+    }
+  for (const auto& p : inputsFor("config"))
+    try {
+      (void)slim::core::Config::parseString(readFile(p));
+      ++configOk;
+    } catch (const slim::core::ConfigError&) {
+    }
+  for (const auto& p : inputsFor("checkpoint"))
+    try {
+      (void)slim::core::Checkpoint::parse(readFile(p), "seed");
+      ++checkpointOk;
+    } catch (const slim::core::ConfigError&) {
+    }
+  for (const auto& p : inputsFor("protocol"))
+    try {
+      (void)slim::serve::parseRequest(readFile(p));
+      ++protocolOk;
+    } catch (const slim::serve::ProtocolError&) {
+    } catch (const slim::support::JsonError&) {
+    }
+  EXPECT_GT(jsonOk, 0);
+  EXPECT_GT(configOk, 0);
+  EXPECT_GT(checkpointOk, 0);
+  EXPECT_GT(protocolOk, 0);
+}
