@@ -1,0 +1,6 @@
+* branch model: one omega per branch class (#k marks in the treefile)
+seqfile  = gene.phy
+treefile = marked.nwk
+outfile  = -
+model    = branch
+gradient = analytic

@@ -1,0 +1,6 @@
+* clade model C with a compound-set selector scan
+seqfile  = gene.phy
+treefile = species.nwk
+outfile  = -
+model    = clade-c
+foreground = human,chimp; gorilla

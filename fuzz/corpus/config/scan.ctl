@@ -1,0 +1,9 @@
+* every-branch genome scan (PR 10 scan mode)
+seqfile  = genes/
+treefile = species.nwk
+outfile  = -
+model    = branch-site
+foreground = every-branch
+threads  = 4
+parallel = task
+checkpoint = scan.ckpt

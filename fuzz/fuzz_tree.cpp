@@ -1,0 +1,40 @@
+// Fuzz target: the Newick tree parser plus the `foreground =` branch-set
+// selector that PR 10's scan mode layered on top of it.  Both consume
+// user-controlled text (treefile bytes; the ctl `foreground =` value, which
+// the daemon accepts straight off the socket), so the contract is strict:
+// parse or throw std::invalid_argument (every keyed SLIM_REQUIRE/parse
+// failure is one), never crash, never throw anything else.
+//
+// Input format: the first line is the Newick text; everything after the
+// first '\n' (optional) is a branch selector resolved against the parsed
+// tree.  Single-line inputs exercise the tree parser alone.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "tree/branch_classes.hpp"
+#include "tree/tree.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  std::string_view newick = text;
+  std::string_view selector;
+  if (const auto nl = text.find('\n'); nl != std::string_view::npos) {
+    newick = text.substr(0, nl);
+    selector = text.substr(nl + 1);
+  }
+  try {
+    const slim::tree::Tree tree = slim::tree::Tree::parseNewick(newick);
+    // A parsed tree must also classify and round-trip cleanly.
+    (void)slim::tree::BranchClassMap::fromTree(tree);
+    (void)tree.toNewick();
+    if (!selector.empty())
+      (void)slim::tree::resolveBranchSelector(tree, selector);
+  } catch (const std::invalid_argument&) {
+    // Keyed rejection is the contract for malformed input.
+  }
+  return 0;
+}

@@ -28,14 +28,18 @@ PositiveSelectionTest BranchSiteAnalysis::run() {
   FitResult h0 = fit(Hypothesis::H0);
   FitResult h1 = fit(Hypothesis::H1);
   // The scan reuses the H1 shard: at the maximum just fitted, every
-  // propagator it needs is already cached (when caching is on).
+  // propagator it needs is already cached (when caching is on).  The
+  // branch model has no site mixture, so there is nothing to scan.
   lik::EvalCounters scanCounters;
-  auto posteriors = siteScanAtFit(
-      *context_, h1, context_->likelihoodOptions(),
-      context_->cacheShard(AnalysisContext::shardSlot(Hypothesis::H1)),
-      scanCounters);
-  return makePositiveSelectionTest(std::move(h0), std::move(h1),
-                                   std::move(posteriors), scanCounters);
+  lik::SiteClassPosteriors posteriors;
+  if (h1.modelKind != model::ModelKind::Branch)
+    posteriors = siteScanAtFit(
+        *context_, h1, context_->likelihoodOptions(),
+        context_->cacheShard(AnalysisContext::shardSlot(Hypothesis::H1)),
+        scanCounters);
+  return makePositiveSelectionTest(
+      std::move(h0), std::move(h1), std::move(posteriors), scanCounters,
+      context_->options().modelSpec.lrtDegreesOfFreedom());
 }
 
 }  // namespace slim::core

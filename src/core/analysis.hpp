@@ -18,8 +18,9 @@ namespace slim::core {
 
 class BranchSiteAnalysis {
  public:
-  /// The tree must carry exactly one #1 foreground mark; its leaf labels
-  /// must match the alignment sequence names.
+  /// The tree's #k marks are its branch classes (branch-heterogeneous
+  /// models need at least one marked branch); its leaf labels must match
+  /// the alignment sequence names.
   BranchSiteAnalysis(const seqio::CodonAlignment& alignment,
                      const tree::Tree& tree, EngineKind engine,
                      FitOptions options = {});

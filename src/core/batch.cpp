@@ -120,6 +120,8 @@ std::vector<PositiveSelectionTest> BatchAnalysis::runAll() {
     // No scan for a cancelled H1 fit: posteriors at a truncated point are
     // not meaningful, and skipping them lets SIGTERM/drain exit promptly.
     if (fits[2 * g + 1].cancelled) return;
+    // The branch model has no site mixture — nothing to scan.
+    if (fits[2 * g + 1].modelKind == model::ModelKind::Branch) return;
     const auto& ctx = *contexts_[g];
     lik::LikelihoodOptions lk = ctx.likelihoodOptions();
     lk.numThreads = scanThreads;
@@ -133,9 +135,11 @@ std::vector<PositiveSelectionTest> BatchAnalysis::runAll() {
   std::vector<PositiveSelectionTest> tests;
   tests.reserve(n);
   for (int g = 0; g < n; ++g) {
+    const double df =
+        contexts_[g]->options().modelSpec.lrtDegreesOfFreedom();
     tests.push_back(makePositiveSelectionTest(
         std::move(fits[2 * g]), std::move(fits[2 * g + 1]),
-        std::move(posteriors[g]), scanCounters[g]));
+        std::move(posteriors[g]), scanCounters[g], df));
     totals_ += tests.back().counters;
   }
 

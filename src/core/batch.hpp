@@ -59,8 +59,8 @@ class BatchAnalysis {
  public:
   explicit BatchAnalysis(EngineKind engine, BatchOptions options = {});
 
-  /// Register a gene (copies the tree).  The tree must carry exactly one #1
-  /// foreground mark matching the alignment's sequence names.
+  /// Register a gene (copies the tree).  The tree's #k marks are its branch
+  /// classes; leaf labels must match the alignment's sequence names.
   GeneHandle addGene(const seqio::CodonAlignment& alignment,
                      const tree::Tree& tree);
   /// Same, sharing an already-parsed tree across genes (a genome scan on

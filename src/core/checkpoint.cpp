@@ -188,6 +188,12 @@ std::string Checkpoint::serialize() const {
     os << "task " << key << '\n';
     os << "status done\n";
     os << "hypothesis " << model::hypothesisName(fit.hypothesis) << '\n';
+    // Both written only for the non-branch-site kinds, keeping branch-site
+    // checkpoints byte-identical to the pre-model-spec format.
+    if (fit.modelKind != model::ModelKind::BranchSite)
+      os << "model " << model::modelKindName(fit.modelKind) << '\n';
+    if (!fit.classOmegas.empty())
+      writeDoubles(os, "classOmegas", fit.classOmegas);
     os << "lnL " << hexDouble(fit.lnL) << '\n';
     writeDoubles(os, "params",
                  {fit.params.kappa, fit.params.omega0, fit.params.omega2,
@@ -332,11 +338,26 @@ Checkpoint Checkpoint::parse(std::string_view text, const std::string& origin) {
                         key + "'");
 
     if (status == "done") {
-      knownOnly({"hypothesis", "lnL", "params", "branchLengths", "iterations",
-                 "functionEvaluations", "gradientEvaluations", "gradientMode",
-                 "simd", "backend", "expm", "converged"});
+      knownOnly({"hypothesis", "model", "classOmegas", "lnL", "params",
+                 "branchLengths", "iterations", "functionEvaluations",
+                 "gradientEvaluations", "gradientMode", "simd", "backend",
+                 "expm", "converged"});
       FitResult fit;
       fit.hypothesis = parseHypothesis(need("hypothesis"), ctx("hypothesis"));
+      // Optional: absent for branch-site fits (the pre-model-spec format).
+      if (const auto it = fields.find("model"); it != fields.end()) {
+        if (it->second == "branch")
+          fit.modelKind = model::ModelKind::Branch;
+        else if (it->second == "clade-c")
+          fit.modelKind = model::ModelKind::CladeC;
+        else if (it->second == "branch-site")
+          fit.modelKind = model::ModelKind::BranchSite;
+        else
+          throw ConfigError(ctx("model") + ": unknown model kind '" +
+                            it->second + "'");
+      }
+      if (const auto it = fields.find("classOmegas"); it != fields.end())
+        fit.classOmegas = parseDoubles(it->second, ctx("classOmegas"));
       fit.lnL = parseHexDouble(need("lnL"), ctx("lnL"));
       const auto p = parseDoubles(need("params"), ctx("params"));
       if (p.size() != 5)
@@ -459,8 +480,11 @@ std::uint64_t checkpointConfigHash(const Config& config) {
   };
   const auto addD = [&](std::string_view k, double v) { add(k, hexDouble(v)); };
 
-  add("analysis",
-      config.analysis == AnalysisKind::BranchSite ? "branch-site" : "site");
+  add("analysis", analysisKindName(config.analysis));
+  // Gated on non-empty so every pre-scan checkpoint hash is unchanged; the
+  // selector shapes the task list (trees and task keys), so a resumed scan
+  // must have been written under the same one.
+  if (!config.foreground.empty()) add("foreground", config.foreground);
   add("engine", engineName(config.engine));
   add("frequencyModel",
       std::to_string(static_cast<int>(config.fit.frequencyModel)));

@@ -10,8 +10,10 @@
 #include <sstream>
 
 #include "core/checkpoint.hpp"
+#include "core/scan.hpp"
 #include "core/tuning_profile.hpp"
 #include "core/report.hpp"
+#include "tree/branch_classes.hpp"
 #include "opt/cancel.hpp"
 #include "support/atomic_file.hpp"
 #include "support/require.hpp"
@@ -153,8 +155,17 @@ Config Config::parse(std::istream& in) {
         cfg.analysis = AnalysisKind::BranchSite;
       else if (value == "site")
         cfg.analysis = AnalysisKind::Site;
+      else if (value == "branch")
+        cfg.analysis = AnalysisKind::Branch;
+      else if (value == "clade-c")
+        cfg.analysis = AnalysisKind::CladeC;
       else
-        badLine(lineNo, "model must be 'branch-site' or 'site'");
+        badLine(lineNo,
+                "model must be 'branch-site', 'branch', 'clade-c' or 'site'");
+    } else if (key == "foreground") {
+      // Note '#' opens a comment, so branch sets are spelled with labels or
+      // node indices, never '#k' marks (see tree/branch_classes.hpp).
+      cfg.foreground = value;
     } else if (key == "CodonFreq") {
       const int f = parseInt(key, value, lineNo);
       switch (f) {
@@ -313,6 +324,25 @@ std::unique_ptr<CheckpointManager> openCheckpoint(const Config& config) {
 
 }  // namespace
 
+model::ModelSpec modelSpecFor(AnalysisKind kind, int numBranchClasses) {
+  model::ModelSpec spec;
+  switch (kind) {
+    case AnalysisKind::BranchSite:
+      spec = model::ModelSpec::branchSite();
+      break;
+    case AnalysisKind::Branch:
+      spec = model::ModelSpec::branch(numBranchClasses);
+      break;
+    case AnalysisKind::CladeC:
+      spec = model::ModelSpec::cladeC(numBranchClasses);
+      break;
+    default:
+      SLIM_REQUIRE(false, "modelSpecFor: 'model = site' has no ModelSpec");
+  }
+  spec.validate();
+  return spec;
+}
+
 Config resolveTuningProfile(Config config) {
   if (config.tuningPath.empty()) return config;
   std::string path = config.tuningPath;
@@ -350,10 +380,15 @@ std::vector<std::string> scanBatchDirectory(const std::string& dir) {
 }
 
 PositiveSelectionTest runFromConfig(const Config& rawConfig) {
-  const Config config = applyRunDeadline(resolveTuningProfile(rawConfig));
-  SLIM_REQUIRE(config.analysis == AnalysisKind::BranchSite,
+  Config config = applyRunDeadline(resolveTuningProfile(rawConfig));
+  SLIM_REQUIRE(config.analysis != AnalysisKind::Site,
                "runFromConfig: control file requests 'model = site'");
+  SLIM_REQUIRE(config.foreground.empty(),
+               "runFromConfig: 'foreground =' scans run through the batch "
+               "workflow (runBatchFromConfig)");
   const auto in = loadInputs(config);
+  config.fit.modelSpec =
+      modelSpecFor(config.analysis, tree::numBranchClasses(in.tree));
   PositiveSelectionTest test;
   if (const auto checkpoint = openCheckpoint(config)) {
     // Checkpointed single-gene run: drive the same fit path through a
@@ -376,8 +411,8 @@ PositiveSelectionTest runFromConfig(const Config& rawConfig) {
 }
 
 BatchRunOutput runBatchFromConfig(const Config& rawConfig) {
-  const Config config = applyRunDeadline(resolveTuningProfile(rawConfig));
-  SLIM_REQUIRE(config.analysis == AnalysisKind::BranchSite,
+  Config config = applyRunDeadline(resolveTuningProfile(rawConfig));
+  SLIM_REQUIRE(config.analysis != AnalysisKind::Site,
                "runBatchFromConfig: control file requests 'model = site'");
   SLIM_REQUIRE(!config.seqfiles.empty(), "runBatchFromConfig: no seqfiles");
 
@@ -388,18 +423,35 @@ BatchRunOutput runBatchFromConfig(const Config& rawConfig) {
   BatchOptions options;
   options.fit = config.fit;
   options.checkpoint = checkpoint.get();
-  BatchAnalysis batch(config.engine, options);
 
   BatchRunOutput out;
-  for (const auto& path : config.seqfiles) {
-    out.geneNames.push_back(fileStem(path));
-    batch.addGene(loadAlignment(path, config.stopCodonsAsMissing), tree,
-                  config.fit, out.geneNames.back());
+  if (!config.foreground.empty()) {
+    // Scan: one task per (gene x branch set), each set foreground-marked on
+    // an otherwise unmarked copy of the tree — always two branch classes.
+    config.fit.modelSpec = modelSpecFor(config.analysis, 2);
+    options.fit.modelSpec = config.fit.modelSpec;
+    ScanAnalysis scan(config.engine, *tree, config.foreground, options);
+    for (const auto& path : config.seqfiles)
+      scan.addGene(loadAlignment(path, config.stopCodonsAsMissing), config.fit,
+                   fileStem(path));
+    out.geneNames = scan.taskNames();
+    out.tests = scan.runAll();
+    out.totals = scan.totals();
+    out.info = scan.lastRun();
+  } else {
+    config.fit.modelSpec =
+        modelSpecFor(config.analysis, tree::numBranchClasses(*tree));
+    options.fit.modelSpec = config.fit.modelSpec;
+    BatchAnalysis batch(config.engine, options);
+    for (const auto& path : config.seqfiles) {
+      out.geneNames.push_back(fileStem(path));
+      batch.addGene(loadAlignment(path, config.stopCodonsAsMissing), tree,
+                    config.fit, out.geneNames.back());
+    }
+    out.tests = batch.runAll();
+    out.totals = batch.totals();
+    out.info = batch.lastRun();
   }
-
-  out.tests = batch.runAll();
-  out.totals = batch.totals();
-  out.info = batch.lastRun();
 
   emitReport(config, [&](std::ostream& os) {
     for (std::size_t g = 0; g < out.tests.size(); ++g) {
@@ -416,9 +468,14 @@ BatchRunOutput runBatchFromConfig(const Config& rawConfig) {
 SiteModelTest runSiteModelFromConfig(const Config& rawConfig) {
   const Config config = applyRunDeadline(resolveTuningProfile(rawConfig));
   SLIM_REQUIRE(config.analysis == AnalysisKind::Site,
-               "runSiteModelFromConfig: control file requests branch-site");
+               "runSiteModelFromConfig: control file requests '" +
+                   std::string(analysisKindName(config.analysis)) + "'");
   SLIM_REQUIRE(config.checkpointPath.empty() && !config.resume,
-               "checkpoint/resume supports 'model = branch-site' only");
+               "checkpoint/resume supports 'model = branch-site', 'branch' "
+               "and 'clade-c', not 'model = site'");
+  SLIM_REQUIRE(config.foreground.empty(),
+               "'foreground =' scans support 'model = branch-site', 'branch' "
+               "and 'clade-c', not 'model = site'");
   const auto in = loadInputs(config);
   SiteModelFitOptions options;
   options.frequencyModel = config.fit.frequencyModel;

@@ -7,8 +7,14 @@
 // tool is drivable without writing C++ (see tools/slimcodeml_main.cpp):
 //
 //     seqfile  = gene.fasta        * FASTA or sequential PHYLIP
-//     treefile = gene.nwk          * Newick with one #1 foreground mark
+//     treefile = gene.nwk          * Newick; integer #k marks label branch
+//                                  * classes (0 = background)
 //     outfile  = results.txt       * '-' or empty: stdout
+//     model    = branch-site       * branch-site | branch | clade-c | site
+//     foreground = every-branch    * scan mode: fit every branch (or each
+//                                  * listed set) as the foreground in one
+//                                  * batch; sets are semicolon-separated
+//                                  * lists of comma-separated labels/ids
 //     engine   = slim              * slim | slim-parallel | codeml
 //     threads  = 0                 * worker threads (0: all cores)
 //     parallel = auto              * auto | task | pattern (batch fan-out)
@@ -65,7 +71,18 @@ class ConfigError : public std::invalid_argument {
 enum class AnalysisKind {
   BranchSite,  ///< model A, H0 vs H1 on the #1 branch (`model = branch-site`)
   Site,        ///< M1a vs M2a across all branches (`model = site`)
+  Branch,      ///< one omega per branch class vs one shared (`model = branch`)
+  CladeC,      ///< clade model C vs M2a_rel (`model = clade-c`)
 };
+
+inline const char* analysisKindName(AnalysisKind k) noexcept {
+  switch (k) {
+    case AnalysisKind::BranchSite: return "branch-site";
+    case AnalysisKind::Site: return "site";
+    case AnalysisKind::Branch: return "branch";
+    default: return "clade-c";
+  }
+}
 
 /// Parsed control file.
 struct Config {
@@ -79,6 +96,11 @@ struct Config {
   std::string outfile;  ///< Empty or "-" writes to stdout.
   EngineKind engine = EngineKind::Slim;
   AnalysisKind analysis = AnalysisKind::BranchSite;
+  /// `foreground =` scan selector: empty for a plain run, "every-branch" or
+  /// a semicolon-separated list of branch sets (comma-separated labels /
+  /// node indices) to fan one fit per set through the batch workflow
+  /// (tree/branch_classes.hpp grammar).
+  std::string foreground;
   FitOptions fit;
   bool stopCodonsAsMissing = false;
   /// Non-empty: branch-site fits snapshot their optimizer state to this
@@ -119,6 +141,14 @@ struct Config {
 /// profile (see core/tuning_profile.hpp).
 Config resolveTuningProfile(Config config);
 
+/// The ModelSpec a non-site `model =` selection requests over a tree with
+/// `numBranchClasses` branch classes (branch-site always uses the fixed
+/// two-class Table I shape; scans mark each set as class 1, so they pass 2).
+/// Validated here, so an unmarked tree under `model = branch` / `clade-c`
+/// fails with the spec's keyed "mark at least one branch" error before any
+/// fitting starts; `model = site` has no spec and throws.
+model::ModelSpec modelSpecFor(AnalysisKind analysis, int numBranchClasses);
+
 /// Load one alignment file: FASTA when the first non-blank character is
 /// '>', else sequential PHYLIP; codon-encoded with the universal code.
 /// Shared by the config runners and the serve-mode context cache.
@@ -130,8 +160,10 @@ tree::Tree loadTreeFile(const std::string& path);
 
 /// Load the alignment (FASTA when the first non-blank char is '>', else
 /// sequential PHYLIP) and tree named by the config, run the full H0/H1
-/// branch-site test, and return the result; writes the text report to
-/// config.outfile.  Requires analysis == BranchSite.
+/// test of the requested branch-classification model (branch-site A, the
+/// branch model or clade model C), and return the result; writes the text
+/// report to config.outfile.  Requires analysis != Site and an empty
+/// `foreground =` (scans run through runBatchFromConfig).
 PositiveSelectionTest runFromConfig(const Config& config);
 
 /// Same, for `model = site`: the M1a-vs-M2a test (no #1 mark needed).
@@ -146,10 +178,13 @@ struct BatchRunOutput {
 };
 
 /// Load every alignment named by config.seqfiles plus the shared tree, run
-/// all branch-site tests through core::BatchAnalysis (H0/H1 fits fanned
-/// across `threads` workers under the `parallel` policy), and write per-gene
-/// text reports plus a batch summary to config.outfile.  Requires
-/// analysis == BranchSite; also accepts a single seqfile.
+/// all tests through core::BatchAnalysis (H0/H1 fits fanned across
+/// `threads` workers under the `parallel` policy), and write per-gene text
+/// reports plus a batch summary to config.outfile.  A non-empty
+/// `foreground =` expands every gene into one task per branch set
+/// (core::ScanAnalysis, names "<gene>@<set>"), riding the same checkpoint /
+/// cancellation / report plumbing.  Requires analysis != Site; also accepts
+/// a single seqfile.
 BatchRunOutput runBatchFromConfig(const Config& config);
 
 /// Alignments under `dir` with a recognized extension (*.fasta, *.fa,

@@ -115,6 +115,202 @@ class ParameterPacking {
   opt::Transform kappa_, omega0_, omega2_, branch_;
 };
 
+/// One unpacked point of a branch / clade-model-C fit.
+struct ScenarioPoint {
+  double kappa = 2.0;
+  double omega0 = 0.1;  ///< clade C conserved class; unused for branch
+  double p0 = 0.45, p1 = 0.45;  ///< clade C proportions; unused for branch
+  std::vector<double> classOmegas;  ///< per-branch-class (or shared) omegas
+};
+
+/// Packing for the non-branch-site scenarios.  Layouts:
+///   branch   [ kappa~, w~_0 .. w~_{C-1}, t~_1 .. t~_B ]   (H0: one w~)
+///   clade-c  [ kappa~, omega0~, w~_0 .. w~_{C-1}, u, v, t~_1 .. t~_B ]
+/// with the same transforms as ParameterPacking where the parameter's
+/// domain matches; class omegas are free positives (logAbove 0).
+class ScenarioPacking {
+ public:
+  ScenarioPacking(const model::ModelSpec& spec, Hypothesis h, int numBranches)
+      : cladeC_(spec.kind == model::ModelKind::CladeC),
+        numClassOmegas_(spec.numClassOmegaParams(h)),
+        numBranches_(numBranches),
+        kappa_(opt::Transform::logAbove(0.0)),
+        omega0_(opt::Transform::logistic(0.0, 1.0)),
+        classOmega_(opt::Transform::logAbove(0.0)),
+        branch_(opt::Transform::logistic(0.0, 50.0)) {}
+
+  int omegaOffset() const noexcept { return cladeC_ ? 2 : 1; }
+  int branchOffset() const noexcept {
+    return omegaOffset() + numClassOmegas_ + (cladeC_ ? 2 : 0);
+  }
+  int dim() const noexcept { return branchOffset() + numBranches_; }
+
+  std::vector<double> pack(const ScenarioPoint& p,
+                           std::span<const double> lengths) const {
+    std::vector<double> x(dim());
+    x[0] = kappa_.toInternal(p.kappa);
+    if (cladeC_) x[1] = omega0_.toInternal(p.omega0);
+    for (int c = 0; c < numClassOmegas_; ++c)
+      x[omegaOffset() + c] = classOmega_.toInternal(p.classOmegas[c]);
+    if (cladeC_) {
+      const auto [u, v] = opt::simplex2ToInternal(p.p0, p.p1);
+      x[omegaOffset() + numClassOmegas_] = u;
+      x[omegaOffset() + numClassOmegas_ + 1] = v;
+    }
+    for (int k = 0; k < numBranches_; ++k)
+      x[branchOffset() + k] = branch_.toInternal(std::max(lengths[k], 1e-6));
+    return x;
+  }
+
+  ScenarioPoint unpackPoint(std::span<const double> x) const {
+    ScenarioPoint p;
+    p.kappa = kappa_.toExternal(x[0]);
+    if (cladeC_) p.omega0 = omega0_.toExternal(x[1]);
+    p.classOmegas.resize(numClassOmegas_);
+    for (int c = 0; c < numClassOmegas_; ++c)
+      p.classOmegas[c] = classOmega_.toExternal(x[omegaOffset() + c]);
+    if (cladeC_) {
+      const auto [p0, p1] =
+          opt::simplex2ToExternal(x[omegaOffset() + numClassOmegas_],
+                                  x[omegaOffset() + numClassOmegas_ + 1]);
+      p.p0 = p0;
+      p.p1 = p1;
+    }
+    return p;
+  }
+
+  double branchLength(std::span<const double> x, int k) const {
+    return branch_.toExternal(x[branchOffset() + k]);
+  }
+
+  const opt::Transform& branchTransform() const noexcept { return branch_; }
+
+ private:
+  bool cladeC_;
+  int numClassOmegas_;
+  int numBranches_;
+  opt::Transform kappa_, omega0_, classOmega_, branch_;
+};
+
+model::MixtureSpec buildScenarioSpec(const bio::GeneticCode& gc,
+                                     std::span<const double> pi,
+                                     const model::ModelSpec& spec,
+                                     const ScenarioPoint& p) {
+  if (spec.kind == model::ModelKind::Branch)
+    return model::buildBranchModelSpec(gc, pi, p.kappa, p.classOmegas);
+  return model::buildCladeCSpec(gc, pi, p.kappa, p.omega0, p.p0, p.p1,
+                                p.classOmegas);
+}
+
+/// fitHypothesis for the branch / clade-c kinds; mirrors the branch-site
+/// body below with ScenarioPacking in place of ParameterPacking.
+FitResult fitScenarioHypothesis(
+    const AnalysisContext& context, Hypothesis hypothesis,
+    const FitOptions& fitOptions, const lik::LikelihoodOptions& likOptions,
+    std::shared_ptr<lik::PropagatorCacheShard> shard,
+    const FitCheckpointHooks* checkpoint) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const model::ModelSpec& spec = fitOptions.modelSpec;
+  spec.validate();
+
+  lik::BranchSiteLikelihood eval(context.alignment(), context.patterns(),
+                                 context.pi(), context.tree(), hypothesis,
+                                 likOptions, std::move(shard));
+  if (!fitOptions.useTreeBranchLengths)
+    eval.setAllBranchLengths(fitOptions.initialBranchLength);
+
+  const int numBranches = eval.numBranches();
+  const ScenarioPacking packing(spec, hypothesis, numBranches);
+
+  ScenarioPoint start;
+  start.kappa = fitOptions.initialParams.kappa;
+  start.omega0 = fitOptions.initialParams.omega0;
+  start.p0 = fitOptions.initialParams.p0;
+  start.p1 = fitOptions.initialParams.p1;
+  start.classOmegas.assign(
+      static_cast<std::size_t>(spec.numClassOmegaParams(hypothesis)),
+      fitOptions.initialParams.omega2);
+  // For the branch model the background class starts conserved and the
+  // marked classes divergent — the same roles omega0/omega2 play for
+  // branch-site A.  Clade C's class omegas are all divergent (its conserved
+  // class is the separate omega0 parameter), so they all start at omega2.
+  if (spec.kind == model::ModelKind::Branch)
+    start.classOmegas.front() = fitOptions.initialParams.omega0;
+  std::vector<double> startLengths(numBranches);
+  for (int k = 0; k < numBranches; ++k) startLengths[k] = eval.branchLength(k);
+
+  if (fitOptions.startJitterSeed != 0) {
+    sim::Rng rng(fitOptions.startJitterSeed);
+    auto jitter = [&rng](double v) { return v * std::exp(rng.uniform(-0.1, 0.1)); };
+    start.kappa = jitter(start.kappa);
+    if (spec.kind == model::ModelKind::CladeC)
+      start.omega0 = std::min(0.95, jitter(start.omega0));
+    for (auto& w : start.classOmegas) w = jitter(w);
+    for (auto& t : startLengths) t = jitter(std::max(t, 1e-3));
+  }
+
+  std::vector<double> x0 = packing.pack(start, startLengths);
+
+  const GradientMode mode = fitOptions.tuning.gradient;
+  const int fanWorkers = mode == GradientMode::FiniteDiff
+                             ? 1
+                             : support::resolveThreadCount(likOptions.numThreads);
+  const bio::GeneticCode& gc = *context.alignment().code;
+  LikelihoodObjective objective(
+      eval, context.alignment(), context.patterns(), context.pi(),
+      context.tree(), hypothesis, likOptions, mode, fitOptions.tuning.policy,
+      fanWorkers,
+      {packing.branchOffset(), numBranches, packing.branchTransform()},
+      [&packing, &gc, &context, &spec, numBranches](
+          lik::BranchSiteLikelihood& e,
+          std::span<const double> x) -> model::MixtureSpec {
+        const ScenarioPoint p = packing.unpackPoint(x);
+        for (int k = 0; k < numBranches; ++k)
+          e.setBranchLength(k, packing.branchLength(x, k));
+        return buildScenarioSpec(gc, context.pi(), spec, p);
+      });
+
+  const opt::BfgsState* resumeState =
+      checkpoint && checkpoint->resumeFrom ? &*checkpoint->resumeFrom
+                                           : nullptr;
+  const auto bfgsResult =
+      opt::minimizeBfgs(objective, x0, fitOptions.bfgs,
+                        checkpoint ? checkpoint->sink : opt::BfgsCheckpointSink{},
+                        resumeState);
+
+  FitResult r;
+  r.hypothesis = hypothesis;
+  r.modelKind = spec.kind;
+  r.lnL = -bfgsResult.value;
+  const ScenarioPoint best = packing.unpackPoint(bfgsResult.x);
+  r.params.kappa = best.kappa;
+  r.params.omega0 = best.omega0;
+  r.params.p0 = best.p0;
+  r.params.p1 = best.p1;
+  r.classOmegas = best.classOmegas;
+  r.branchLengths.resize(numBranches);
+  for (int k = 0; k < numBranches; ++k)
+    r.branchLengths[k] = packing.branchLength(bfgsResult.x, k);
+  r.iterations = bfgsResult.iterations;
+  r.functionEvaluations = bfgsResult.functionEvaluations;
+  r.gradientEvaluations = bfgsResult.gradientEvaluations;
+  r.gradientMode = mode;
+  r.simd = eval.simdLevel();
+  r.backend = eval.backendKind();
+  r.expm = eval.expmAlgorithm();
+  r.converged = bfgsResult.converged;
+  r.cancelled = bfgsResult.cancelled;
+  r.message = bfgsResult.message;
+  r.counters = objective.counters();
+  if (resumeState != nullptr) {
+    r.resumedFrom = checkpoint->resumedFromPath;
+    r.iterationsReplayed = resumeState->iterations;
+  }
+  r.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count();
+  return r;
+}
+
 }  // namespace
 
 FitResult fitHypothesis(const AnalysisContext& context, Hypothesis hypothesis,
@@ -122,6 +318,9 @@ FitResult fitHypothesis(const AnalysisContext& context, Hypothesis hypothesis,
                         const lik::LikelihoodOptions& likOptions,
                         std::shared_ptr<lik::PropagatorCacheShard> shard,
                         const FitCheckpointHooks* checkpoint) {
+  if (fitOptions.modelSpec.kind != model::ModelKind::BranchSite)
+    return fitScenarioHypothesis(context, hypothesis, fitOptions, likOptions,
+                                 std::move(shard), checkpoint);
   const auto t0 = std::chrono::steady_clock::now();
 
   lik::BranchSiteLikelihood eval(context.alignment(), context.patterns(),
@@ -238,18 +437,27 @@ lik::SiteClassPosteriors siteScanAtFit(
                    " branches (stale or corrupted checkpoint?)");
   for (int k = 0; k < eval.numBranches(); ++k)
     eval.setBranchLength(k, h1Fit.branchLengths[k]);
-  auto posteriors = eval.siteClassPosteriors(h1Fit.params);
+  SLIM_REQUIRE(h1Fit.modelKind != model::ModelKind::Branch,
+               "site scan is undefined for the branch model (no site "
+               "mixture)");
+  auto posteriors =
+      h1Fit.modelKind == model::ModelKind::BranchSite
+          ? eval.siteClassPosteriors(h1Fit.params)
+          : eval.siteClassPosteriors(model::buildCladeCSpec(
+                *context.alignment().code, context.pi(), h1Fit.params.kappa,
+                h1Fit.params.omega0, h1Fit.params.p0, h1Fit.params.p1,
+                h1Fit.classOmegas));
   scanCounters = eval.counters();
   return posteriors;
 }
 
 PositiveSelectionTest makePositiveSelectionTest(
     FitResult h0, FitResult h1, lik::SiteClassPosteriors posteriors,
-    const lik::EvalCounters& scanCounters) {
+    const lik::EvalCounters& scanCounters, double df) {
   PositiveSelectionTest test;
   test.h0 = std::move(h0);
   test.h1 = std::move(h1);
-  test.lrt = stat::likelihoodRatioTest(test.h0.lnL, test.h1.lnL, /*df=*/1.0);
+  test.lrt = stat::likelihoodRatioTest(test.h0.lnL, test.h1.lnL, df);
   test.posteriors = std::move(posteriors);
   test.totalSeconds = test.h0.seconds + test.h1.seconds;
   test.counters = test.h0.counters + test.h1.counters + scanCounters;

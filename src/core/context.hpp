@@ -25,6 +25,7 @@
 #include "lik/propagator_cache.hpp"
 #include "model/branch_site.hpp"
 #include "model/frequencies.hpp"
+#include "model/model_spec.hpp"
 #include "opt/bfgs.hpp"
 #include "opt/checkpoint.hpp"
 #include "seqio/alignment.hpp"
@@ -38,7 +39,13 @@ struct FitOptions {
   model::CodonFrequencyModel frequencyModel = model::CodonFrequencyModel::F3x4;
   /// Optimizer controls; maxIterations is the paper's "iterations" column.
   opt::BfgsOptions bfgs{};
-  /// Starting substitution parameters.
+  /// Which scenario to fit: branch-site A (default), the branch model, or
+  /// clade model C, over the tree's branch classes (model/model_spec.hpp).
+  model::ModelSpec modelSpec{};
+  /// Starting substitution parameters.  For the non-branch-site kinds the
+  /// fields are reinterpreted: kappa/omega0/p0/p1 keep their roles where the
+  /// model has them, omega0 seeds the background/shared class omega and
+  /// omega2 the non-background class omegas.
   model::BranchSiteParams initialParams{};
   /// When false, every branch starts at initialBranchLength instead of the
   /// lengths carried by the input tree.
@@ -55,7 +62,14 @@ struct FitOptions {
 struct FitResult {
   model::Hypothesis hypothesis = model::Hypothesis::H0;
   double lnL = 0;
+  /// Which model family produced this fit (mirrors FitOptions::modelSpec).
+  model::ModelKind modelKind = model::ModelKind::BranchSite;
   model::BranchSiteParams params;
+  /// Per-branch-class omega MLEs: one per branch class for the branch
+  /// model, the divergent omegas for clade model C (H0 fits carry the
+  /// single shared value).  Empty for branch-site A, whose omegas live in
+  /// `params` — keeping its reports and checkpoint records byte-identical.
+  std::vector<double> classOmegas;
   std::vector<double> branchLengths;  ///< Post-order branch order.
   int iterations = 0;
   /// Objective evaluations spent on values (start point + line searches).
@@ -108,8 +122,9 @@ struct PositiveSelectionTest {
 /// to one task — see propagator_cache.hpp).
 class AnalysisContext {
  public:
-  /// The tree must carry exactly one #1 foreground mark; its leaf labels
-  /// must match the alignment sequence names.  Copies both inputs.
+  /// The tree's #k marks are its branch classes; branch-heterogeneous
+  /// models need at least one marked branch.  Leaf labels must match the
+  /// alignment sequence names.  Copies both inputs.
   static std::shared_ptr<const AnalysisContext> create(
       const seqio::CodonAlignment& alignment, const tree::Tree& tree,
       EngineKind engine, FitOptions options = {});
@@ -210,6 +225,8 @@ FitResult fitHypothesis(const AnalysisContext& context,
 
 /// NEB site scan at an H1 maximum.  `scanCounters` receives the engine
 /// counters of this evaluation (work that per-fit counters do not cover).
+/// Dispatches on the fit's model kind (branch-site A / clade model C);
+/// the branch model has no site mixture and must not be scanned.
 lik::SiteClassPosteriors siteScanAtFit(
     const AnalysisContext& context, const FitResult& h1Fit,
     const lik::LikelihoodOptions& likOptions,
@@ -217,9 +234,10 @@ lik::SiteClassPosteriors siteScanAtFit(
     lik::EvalCounters& scanCounters);
 
 /// Assemble the full positive-selection test from its three evaluations:
-/// LRT plumbing, deterministic counter merge (h0 + h1 + scan), wall time.
+/// LRT plumbing (with the model's degrees of freedom), deterministic
+/// counter merge (h0 + h1 + scan), wall time.
 PositiveSelectionTest makePositiveSelectionTest(
     FitResult h0, FitResult h1, lik::SiteClassPosteriors posteriors,
-    const lik::EvalCounters& scanCounters);
+    const lik::EvalCounters& scanCounters, double df = 1.0);
 
 }  // namespace slim::core

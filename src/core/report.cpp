@@ -15,11 +15,25 @@ void writeFitReport(std::ostream& os, const FitResult& fit) {
   os << "  " << model::hypothesisName(fit.hypothesis)
      << ": lnL = " << std::fixed << std::setprecision(6) << fit.lnL
      << std::defaultfloat << '\n'
-     << "    kappa  = " << fit.params.kappa << '\n'
-     << "    omega0 = " << fit.params.omega0 << '\n';
-  if (fit.hypothesis == model::Hypothesis::H1)
-    os << "    omega2 = " << fit.params.omega2 << '\n';
-  os << "    p0 = " << fit.params.p0 << ", p1 = " << fit.params.p1 << '\n'
+     << "    kappa  = " << fit.params.kappa << '\n';
+  // The branch model has no omega0 site class and no mixture proportions;
+  // the other kinds keep the classic parameter block (byte-identical for
+  // branch-site, whose classOmegas is always empty).
+  if (fit.modelKind != model::ModelKind::Branch)
+    os << "    omega0 = " << fit.params.omega0 << '\n';
+  if (fit.modelKind == model::ModelKind::BranchSite) {
+    if (fit.hypothesis == model::Hypothesis::H1)
+      os << "    omega2 = " << fit.params.omega2 << '\n';
+  } else {
+    os << (fit.modelKind == model::ModelKind::CladeC
+               ? "    divergent omegas ="
+               : "    class omegas =");
+    for (const double w : fit.classOmegas) os << ' ' << w;
+    os << '\n';
+  }
+  if (fit.modelKind != model::ModelKind::Branch)
+    os << "    p0 = " << fit.params.p0 << ", p1 = " << fit.params.p1 << '\n';
+  os
      << "    iterations = " << fit.iterations
      << ", function evaluations = " << fit.functionEvaluations << " + "
      << fit.gradientEvaluations << " gradient ("
@@ -41,18 +55,41 @@ void writeFitReport(std::ostream& os, const FitResult& fit) {
 
 void writeTestReport(std::ostream& os, const PositiveSelectionTest& test,
                      EngineKind engine, double siteThreshold) {
-  os << "Branch-site test for positive selection (" << engineName(engine)
-     << " engine)\n";
+  const auto kind = test.h1.modelKind;
+  if (kind == model::ModelKind::BranchSite)
+    os << "Branch-site test for positive selection (" << engineName(engine)
+       << " engine)\n";
+  else if (kind == model::ModelKind::Branch)
+    os << "Branch-model test, one omega per branch class ("
+       << engineName(engine) << " engine)\n";
+  else
+    os << "Clade model C test vs M2a_rel (" << engineName(engine)
+       << " engine)\n";
   writeFitReport(os, test.h0);
   writeFitReport(os, test.h1);
   os << "  LRT: 2*dlnL = " << std::setprecision(6) << test.lrt.statistic
-     << ", p(chi2_1) = " << test.lrt.pChi2
-     << ", p(mixture) = " << test.lrt.pMixture << '\n';
+     << ", p(chi2_" << static_cast<int>(test.lrt.df)
+     << ") = " << test.lrt.pChi2;
+  // The 50:50 mixture correction applies to the boundary case of the df = 1
+  // branch-site test only.
+  if (kind == model::ModelKind::BranchSite)
+    os << ", p(mixture) = " << test.lrt.pMixture;
+  os << '\n';
   if (test.lrt.significantAt(0.05))
-    os << "  => positive selection DETECTED on the foreground branch (5% level)\n";
+    os << (kind == model::ModelKind::BranchSite
+               ? "  => positive selection DETECTED on the foreground branch "
+                 "(5% level)\n"
+               : "  => branch-class omega heterogeneity DETECTED (5% "
+                 "level)\n");
   else
-    os << "  => no significant evidence of positive selection (5% level)\n";
+    os << (kind == model::ModelKind::BranchSite
+               ? "  => no significant evidence of positive selection (5% "
+                 "level)\n"
+               : "  => no significant branch-class omega heterogeneity (5% "
+                 "level)\n");
 
+  // The branch model has no site mixture — nothing to scan.
+  if (kind == model::ModelKind::Branch) return;
   os << "  Sites with posterior P(positive selection) > " << siteThreshold
      << " (NEB):\n";
   bool any = false;
@@ -129,7 +166,11 @@ void writeBatchSummary(std::ostream& os,
      << " genes, " << info.workers << " workers, "
      << (info.taskLevel ? "task" : "pattern") << "-level parallelism, "
      << std::setprecision(3) << info.seconds << " s)\n";
-  os << "  gene                 lnL0          lnL1          2*dlnL    p(chi2_1)  verdict\n";
+  // All genes of one batch share one model spec, so one df heads the column
+  // (df = 1 keeps the historical header bytes).
+  const int df = tests.empty() ? 1 : static_cast<int>(tests.front().lrt.df);
+  os << "  gene                 lnL0          lnL1          2*dlnL    p(chi2_"
+     << df << ")  verdict\n";
   for (std::size_t g = 0; g < tests.size(); ++g) {
     const auto& t = tests[g];
     os << "  " << std::left << std::setw(18) << geneNames[g] << std::right
@@ -181,6 +222,18 @@ void jsonFit(std::ostream& os, const FitResult& fit) {
   jsonNumber(os, fit.params.p0);
   os << ",\"p1\":";
   jsonNumber(os, fit.params.p1);
+  // Only non-branch-site fits carry the model name and per-class omegas:
+  // branch-site JSON stays byte-identical to what earlier versions emitted.
+  if (fit.modelKind != model::ModelKind::BranchSite) {
+    os << ",\"model\":";
+    jsonString(os, model::modelKindName(fit.modelKind));
+    os << ",\"classOmegas\":[";
+    for (std::size_t i = 0; i < fit.classOmegas.size(); ++i) {
+      if (i) os << ',';
+      jsonNumber(os, fit.classOmegas[i]);
+    }
+    os << ']';
+  }
   os << ",\"iterations\":" << fit.iterations
      << ",\"functionEvaluations\":" << fit.functionEvaluations
      << ",\"gradientEvaluations\":" << fit.gradientEvaluations

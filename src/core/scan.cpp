@@ -1,0 +1,26 @@
+#include "core/scan.hpp"
+
+#include "support/require.hpp"
+
+namespace slim::core {
+
+ScanAnalysis::ScanAnalysis(EngineKind engine, const tree::Tree& tree,
+                           const std::string& selector, BatchOptions options)
+    : batch_(engine, std::move(options)),
+      sets_(tree::resolveBranchSelector(tree, selector)) {
+  trees_.reserve(sets_.size());
+  for (const auto& set : sets_)
+    trees_.push_back(std::make_shared<const tree::Tree>(
+        tree::withForegroundSet(tree, set.nodes)));
+}
+
+void ScanAnalysis::addGene(const seqio::CodonAlignment& alignment,
+                           FitOptions geneOptions, const std::string& name) {
+  SLIM_REQUIRE(!name.empty(), "ScanAnalysis::addGene: gene name is required");
+  for (std::size_t s = 0; s < sets_.size(); ++s) {
+    taskNames_.push_back(name + "@" + sets_[s].name);
+    batch_.addGene(alignment, trees_[s], geneOptions, taskNames_.back());
+  }
+}
+
+}  // namespace slim::core

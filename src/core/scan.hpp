@@ -1,0 +1,62 @@
+#pragma once
+// Every-branch (and compound branch-set) scans.
+//
+// A scan asks "which branch is under selection?" by refitting the same test
+// once per candidate foreground: each BranchSet from the `foreground =`
+// selector is marked as branch class 1 on an otherwise unmarked copy of the
+// species tree, and every (gene x set) pair becomes one independent task of
+// a single core::BatchAnalysis.  That buys the scan everything the batch
+// layer already guarantees — bit-identical results across worker counts and
+// parallel policies, deterministic counter merging, checkpoint/resume and
+// cancellation — with task keys derived from the stable name
+// "<gene>@<set>", so a SIGKILLed scan resumes past its completed sets.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "tree/branch_classes.hpp"
+
+namespace slim::core {
+
+class ScanAnalysis {
+ public:
+  /// Resolve `selector` ("every-branch" or the semicolon/comma grammar of
+  /// tree/branch_classes.hpp) against `tree` and build one foreground-marked
+  /// tree per set.  options.fit.modelSpec must describe a two-branch-class
+  /// model — the scan trees carry exactly classes {0, 1}.  Throws the
+  /// selector's keyed std::invalid_argument on unknown labels or empty sets.
+  ScanAnalysis(EngineKind engine, const tree::Tree& tree,
+               const std::string& selector, BatchOptions options);
+
+  /// Register a gene: expands into one batch task per branch set, named
+  /// "<name>@<set>" (tasks are gene-major: all of gene 0's sets first).
+  void addGene(const seqio::CodonAlignment& alignment, FitOptions geneOptions,
+               const std::string& name);
+
+  std::size_t numSets() const noexcept { return sets_.size(); }
+  const std::vector<tree::BranchSet>& sets() const noexcept { return sets_; }
+  std::size_t numTasks() const noexcept { return batch_.numGenes(); }
+  /// Task names in task order ("<gene>@<set>").
+  const std::vector<std::string>& taskNames() const noexcept {
+    return taskNames_;
+  }
+
+  /// Run every (gene x set) test; results are indexed like taskNames().
+  /// Bit-identical to running each set's BranchSiteAnalysis sequentially on
+  /// the matching foreground-marked tree, for every worker count and policy.
+  std::vector<PositiveSelectionTest> runAll() { return batch_.runAll(); }
+
+  const lik::EvalCounters& totals() const noexcept { return batch_.totals(); }
+  const BatchRunInfo& lastRun() const noexcept { return batch_.lastRun(); }
+  const BatchAnalysis& batch() const noexcept { return batch_; }
+
+ private:
+  BatchAnalysis batch_;
+  std::vector<tree::BranchSet> sets_;
+  std::vector<std::shared_ptr<const tree::Tree>> trees_;
+  std::vector<std::string> taskNames_;
+};
+
+}  // namespace slim::core

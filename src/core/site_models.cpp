@@ -85,14 +85,6 @@ MixtureSpec buildSpec(SiteModel m, const bio::GeneticCode& gc,
                              : model::buildM2aSpec(gc, pi, p);
 }
 
-/// Site models ignore branch marks; the evaluator still requires one, so
-/// mark the first branch if none is present.
-tree::Tree withInertMark(const tree::Tree& tree) {
-  tree::Tree t = tree;
-  if (t.foregroundBranch() < 0) t.setForegroundBranch(t.branches().front());
-  return t;
-}
-
 }  // namespace
 
 SiteModelAnalysis::SiteModelAnalysis(const seqio::CodonAlignment& alignment,
@@ -100,7 +92,9 @@ SiteModelAnalysis::SiteModelAnalysis(const seqio::CodonAlignment& alignment,
                                      SiteModelFitOptions options)
     : alignment_(alignment),
       patterns_(seqio::compressPatterns(alignment)),
-      tree_(withInertMark(tree)),
+      // Site models are branch-homogeneous: marks (or their absence) are
+      // irrelevant, and the evaluator no longer demands one.
+      tree_(tree),
       engine_(engine),
       options_(options) {
   pi_ = model::estimateCodonFrequencies(alignment_, options_.frequencyModel);

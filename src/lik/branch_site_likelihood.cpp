@@ -13,6 +13,7 @@
 #include "model/codon_model.hpp"
 #include "model/frequencies.hpp"
 #include "support/require.hpp"
+#include "tree/branch_classes.hpp"
 
 namespace slim::lik {
 
@@ -41,8 +42,6 @@ BranchSiteLikelihood::BranchSiteLikelihood(
   SLIM_REQUIRE(npat_ > 0, "no site patterns");
   model::validateFrequencies(pi_, n_);
   tree_.validate();
-  SLIM_REQUIRE(tree_.foregroundBranch() >= 0,
-               "branch-site model requires one marked foreground branch (#1)");
   SLIM_REQUIRE(options_.scalingThreshold > 0 && options_.scalingThreshold < 1,
                "scaling threshold must be in (0,1)");
   SLIM_REQUIRE(options_.numThreads >= 0, "numThreads must be >= 0");
@@ -281,11 +280,9 @@ const Matrix& BranchSiteLikelihood::propagator(int node, int omegaIdx) {
 
 void BranchSiteLikelihood::prebuildPropagators() {
   for (int node : branchNodes_) {
-    const bool marked = tree_.node(node).mark != 0;
-    for (int m = 0; m < numClasses_; ++m) {
-      const auto& cls = activeClasses_[m];
-      propagator(node, marked ? cls.omegaForeground : cls.omegaBackground);
-    }
+    const int branchClass = tree_.node(node).mark;
+    for (int m = 0; m < numClasses_; ++m)
+      propagator(node, activeClasses_[m].omegaFor(branchClass));
   }
 }
 
@@ -366,8 +363,7 @@ void BranchSiteLikelihood::pruneClassBlock(int m, int h0, int len,
       const ConstMatrixView childCpv =
           childIsLeaf ? leafCpv_[child].rowBlock(h0, len)
                       : ConstMatrixView(ws.nodeCpv[child].rowBlock(0, len));
-      const int omegaIdx = tree_.node(child).mark != 0 ? cls.omegaForeground
-                                                       : cls.omegaBackground;
+      const int omegaIdx = cls.omegaFor(tree_.node(child).mark);
       // Prebuilt before the parallel region; read-only here.
       const Matrix& prop = *propPtr_[propIndex(child, omegaIdx)];
       const MatrixView out = ws.tmp.rowBlock(0, len);
@@ -481,8 +477,19 @@ void BranchSiteLikelihood::prepareEigenSystems(const MixtureSpec& spec) {
   }
 }
 
+bool BranchSiteLikelihood::classUnderPositiveSelection(int m) const noexcept {
+  const auto& row = activeClasses_[m].omega;
+  if (row.size() == 1) return activeOmegas_[row.front()] > 1.0;
+  for (std::size_t b = 1; b < row.size(); ++b)
+    if (activeOmegas_[row[b]] > 1.0) return true;
+  return false;
+}
+
 void BranchSiteLikelihood::computeClassLikelihoods(const MixtureSpec& spec) {
   spec.validate(n_);
+  SLIM_REQUIRE(spec.branchHomogeneous() || tree::hasMarkedBranch(tree_),
+               "branch-heterogeneous mixture requires at least one marked "
+               "branch (#k)");
   numClasses_ = spec.numClasses();
   numOmegas_ = spec.numOmegas();
   activeClasses_ = spec.classes;
@@ -651,10 +658,10 @@ void BranchSiteLikelihood::buildGradientPropagators() {
   Matrix dp(n_, n_);
   const bool adaptive = options_.expm == backend::ExpmAlgorithm::Adaptive;
   for (int node : branchNodes_) {
-    const bool marked = tree_.node(node).mark != 0;
+    const int branchClass = tree_.node(node).mark;
     for (int m = 0; m < numClasses_; ++m) {
       const auto& cls = activeClasses_[m];
-      const int omegaIdx = marked ? cls.omegaForeground : cls.omegaBackground;
+      const int omegaIdx = cls.omegaFor(branchClass);
       const std::size_t slot = propIndex(node, omegaIdx);
       if (built[slot]) continue;
       built[slot] = 1;
@@ -726,8 +733,7 @@ void BranchSiteLikelihood::gradientClassBlock(
   const int root = tree_.root();
   const auto& cls = activeClasses_[m];
   const auto omegaOf = [&](int node) {
-    return tree_.node(node).mark != 0 ? cls.omegaForeground
-                                      : cls.omegaBackground;
+    return cls.omegaFor(tree_.node(node).mark);
   };
   const auto childPanel = [&](int c) -> ConstMatrixView {
     return tree_.node(c).isLeaf()
@@ -891,8 +897,9 @@ SiteClassPosteriors BranchSiteLikelihood::siteClassPosteriors(
     SLIM_REQUIRE(f > 0.0, "zero site likelihood in posterior computation");
     for (int m = 0; m < numClasses_; ++m) {
       out.post[m][h] = joint[m] / f;
-      // "Positive selection" = classes whose foreground omega exceeds 1.
-      if (activeOmegas_[activeClasses_[m].omegaForeground] > 1.0)
+      // "Positive selection" = classes with a non-background omega > 1
+      // (for single-column site classes, the class omega itself).
+      if (classUnderPositiveSelection(m))
         out.positiveSelection[h] += out.post[m][h];
     }
   }

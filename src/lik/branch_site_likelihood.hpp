@@ -90,9 +90,11 @@ struct SiteClassPosteriors {
 class BranchSiteLikelihood {
  public:
   /// The tree is copied; its branch lengths are this object's optimization
-  /// state (use setBranchLength / branchNodes to address them).  The tree
-  /// must carry exactly one foreground mark (#1) on a non-root branch —
-  /// for branch-homogeneous mixtures (M1a/M2a) the mark is inert.
+  /// state (use setBranchLength / branchNodes to address them).  The tree's
+  /// integer #k marks are read as branch classes (0 = background); a
+  /// branch-heterogeneous mixture requires at least one marked non-root
+  /// branch (checked per evaluation), while branch-homogeneous mixtures
+  /// (M1a/M2a) run on unmarked trees.
   ///
   /// With options.cachePropagators on, `shard` (when non-null) supplies the
   /// persistent propagator store, letting warm state survive this evaluator
@@ -224,6 +226,11 @@ class BranchSiteLikelihood {
   // mixture likelihoods; returns lnL (-infinity on underflow).
   double mixClassLikelihoods(std::vector<double>& maxScaleLog,
                              std::vector<double>& mixture) const;
+
+  // Whether site class m counts toward the "positive selection" posterior:
+  // any non-background column of its omega row exceeds 1 (for a
+  // single-column class, the class omega itself).
+  bool classUnderPositiveSelection(int m) const noexcept;
 
   // The shared gradient pass over the retained class state (the tail of
   // logLikelihoodGradientBranches / gradientBranchesAtLastEvaluation).

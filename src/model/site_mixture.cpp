@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "model/codon_model.hpp"
+#include "model/model_spec.hpp"
 #include "support/require.hpp"
 
 namespace slim::model {
@@ -18,10 +19,9 @@ void MixtureSpec::validate(int numSense) const {
   double total = 0;
   for (const auto& c : classes) {
     SLIM_REQUIRE(c.proportion > 0, "class proportion must be > 0");
-    SLIM_REQUIRE(c.omegaBackground >= 0 && c.omegaBackground < numOmegas(),
-                 "background omega index out of range");
-    SLIM_REQUIRE(c.omegaForeground >= 0 && c.omegaForeground < numOmegas(),
-                 "foreground omega index out of range");
+    SLIM_REQUIRE(!c.omega.empty(), "class omega row must not be empty");
+    for (const int w : c.omega)
+      SLIM_REQUIRE(w >= 0 && w < numOmegas(), "omega index out of range");
     total += c.proportion;
   }
   SLIM_REQUIRE(std::fabs(total - 1.0) < 1e-9,
@@ -31,7 +31,8 @@ void MixtureSpec::validate(int numSense) const {
 
 bool MixtureSpec::branchHomogeneous() const noexcept {
   for (const auto& c : classes)
-    if (c.omegaBackground != c.omegaForeground) return false;
+    for (const int w : c.omega)
+      if (w != c.omega.front()) return false;
   return true;
 }
 
@@ -57,7 +58,7 @@ MixtureSpec buildMixtureSpec(const bio::GeneticCode& gc,
 
   double scale = 0;
   for (const auto& c : spec.classes)
-    scale += c.proportion * rate[c.omegaBackground];
+    scale += c.proportion * rate[c.omegaBackground()];
   SLIM_REQUIRE(scale > 0, "degenerate scale factor");
   spec.scale = scale;
   for (auto& s : spec.scaledS)
@@ -73,9 +74,10 @@ MixtureSpec buildModelASpec(const bio::GeneticCode& gc,
   params.validate(h);
   const auto omegas = params.distinctOmegas(h);
   const auto prop = siteClassProportions(params.p0, params.p1);
+  const ModelSpec table = ModelSpec::branchSite();
   std::vector<MixtureClass> classes(kNumSiteClasses);
   for (int m = 0; m < kNumSiteClasses; ++m)
-    classes[m] = {prop[m], omegaIndexFor(m, false), omegaIndexFor(m, true)};
+    classes[m] = {prop[m], table.omegaSlotFor(m, 0), table.omegaSlotFor(m, 1)};
   return buildMixtureSpec(gc, pi, params.kappa,
                           {omegas.begin(), omegas.end()}, std::move(classes));
 }

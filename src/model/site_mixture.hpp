@@ -6,9 +6,9 @@
 // can also be applied to further maximum likelihood-based evolutionary
 // models".  MixtureSpec is the common description the likelihood engine
 // consumes: a set of distinct omega classes (with pre-scaled
-// exchangeabilities) plus site classes assigning an omega to background and
-// foreground branches.  Site models (no branch component) simply use the
-// same omega on both.
+// exchangeabilities) plus site classes assigning an omega to each *branch
+// class* (the integer #k Newick mark; 0 = background).  Site models (no
+// branch component) simply use one omega for every branch class.
 //
 // Provided builders:
 //   - model A / model A-null      (Table I; used via branch_site.hpp)
@@ -16,7 +16,9 @@
 //   - M2a "positive selection"    (M1a + a class with omega2 > 1)
 // The M1a-vs-M2a LRT (df = 2) is the classic *site* test for positive
 // selection (Yang et al. 2005), complementing the branch-site test.
+// Branch and clade model C builders live in model/model_spec.hpp.
 
+#include <cstddef>
 #include <vector>
 
 #include "bio/genetic_code.hpp"
@@ -25,11 +27,34 @@
 
 namespace slim::model {
 
-/// One site class of a mixture.
+/// One site class of a mixture: a weight plus the omega assignment row,
+/// one entry per branch class.  Branch classes beyond the row clamp to the
+/// last entry, so a two-entry {background, foreground} row behaves exactly
+/// like the classic boolean foreground switch.
 struct MixtureClass {
   double proportion = 0;  ///< Class weight; all proportions sum to 1.
-  int omegaBackground = 0;  ///< Index into MixtureSpec::omegas.
-  int omegaForeground = 0;  ///< Same as background for pure site models.
+  std::vector<int> omega;  ///< omega[b] = index into MixtureSpec::omegas
+                           ///< for branch class b; omega[0] = background.
+
+  MixtureClass() = default;
+  /// Classic two-column (background, foreground) row; collapses to a
+  /// single entry when both columns agree (pure site class).
+  MixtureClass(double p, int background, int foreground) : proportion(p) {
+    omega.push_back(background);
+    if (foreground != background) omega.push_back(foreground);
+  }
+  /// General row: one omega index per branch class.
+  MixtureClass(double p, std::vector<int> perBranchClass)
+      : proportion(p), omega(std::move(perBranchClass)) {}
+
+  int omegaBackground() const noexcept { return omega.front(); }
+  int omegaForeground() const noexcept { return omega.back(); }
+  /// The omega index for branch class `branchClass` (a tree mark); marks
+  /// beyond the row clamp to the last column.
+  int omegaFor(int branchClass) const noexcept {
+    const auto b = static_cast<std::size_t>(branchClass);
+    return b < omega.size() ? omega[b] : omega.back();
+  }
 };
 
 /// A ready-to-evaluate mixture: distinct omegas with their scaled
@@ -46,8 +71,8 @@ struct MixtureSpec {
   /// Structural checks (proportions sum to 1, indices in range, shapes).
   void validate(int numSense) const;
 
-  /// True when no class distinguishes foreground from background (a pure
-  /// site model, evaluable on an unmarked tree).
+  /// True when no class distinguishes any branch class from the background
+  /// (a pure site model, evaluable on an unmarked tree).
   bool branchHomogeneous() const noexcept;
 };
 

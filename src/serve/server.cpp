@@ -17,6 +17,8 @@
 #include "core/batch.hpp"
 #include "core/checkpoint.hpp"
 #include "core/report.hpp"
+#include "core/scan.hpp"
+#include "tree/branch_classes.hpp"
 #include "opt/cancel.hpp"
 #include "support/atomic_file.hpp"
 #include "support/build_info.hpp"
@@ -402,8 +404,9 @@ std::string AnalysisServer::Impl::handleLine(const std::string& line) {
 
 std::string AnalysisServer::Impl::validateJobConfig(
     const core::Config& config) const {
-  if (config.analysis != core::AnalysisKind::BranchSite)
-    return "daemon jobs support 'model = branch-site' only";
+  if (config.analysis == core::AnalysisKind::Site)
+    return "daemon jobs support 'model = branch-site', 'branch' and "
+           "'clade-c'; 'model = site' runs through the CLI only";
   if (!config.checkpointPath.empty() || config.resume)
     return "ctl must not set 'checkpoint' — request it with the protocol's "
            "\"checkpoint\" flag (the daemon owns checkpoint paths)";
@@ -652,6 +655,17 @@ AnalysisServer::Impl::RunOutcome AnalysisServer::Impl::runJob(Job& job) {
              std::chrono::steady_clock::now() >= jobPtr->deadline;
     };
 
+    // Resolve the model spec the job's `model =` / `foreground =` selection
+    // requests.  Scan sets are always marked as branch class 1, so scan
+    // specs are two-class; plain non-branch-site jobs size theirs to the
+    // tree's own #k marks.
+    if (!config.foreground.empty())
+      config.fit.modelSpec = core::modelSpecFor(config.analysis, 2);
+    else if (config.analysis != core::AnalysisKind::BranchSite)
+      config.fit.modelSpec = core::modelSpecFor(
+          config.analysis,
+          tree::numBranchClasses(core::loadTreeFile(config.treefile)));
+
     std::unique_ptr<core::CheckpointManager> ckpt;
     if (job.checkpointed) {
       // resume=true always: a fresh file falls back to a fresh run, an
@@ -665,28 +679,50 @@ AnalysisServer::Impl::RunOutcome AnalysisServer::Impl::runJob(Job& job) {
     core::BatchOptions batchOptions;
     batchOptions.fit = config.fit;
     batchOptions.checkpoint = ckpt.get();
-    core::BatchAnalysis batch(config.engine, batchOptions);
 
-    std::vector<ContextCache::Lease> leases;
+    std::vector<core::PositiveSelectionTest> tests;
     std::vector<std::string> names;
-    leases.reserve(config.seqfiles.size());
-    for (const auto& path : config.seqfiles) {
-      leases.push_back(cache.acquire(path, config, config.fit));
-      names.push_back(fileStem(path));
-      batch.addGene(leases.back().context(), names.back());
+    lik::EvalCounters totals;
+    core::BatchRunInfo info;
+    if (!config.foreground.empty()) {
+      // Scan job: every branch set fits on its own foreground-marked copy
+      // of the tree, so the warm context cache (keyed by seqfile + the
+      // shared tree file) cannot serve it — build fresh per-set contexts.
+      const auto tree = core::loadTreeFile(config.treefile);
+      core::ScanAnalysis scan(config.engine, tree, config.foreground,
+                              batchOptions);
+      for (const auto& path : config.seqfiles)
+        scan.addGene(
+            core::loadAlignmentFile(path, config.stopCodonsAsMissing),
+            config.fit, fileStem(path));
+      names = scan.taskNames();
+      tests = scan.runAll();
+      totals = scan.totals();
+      info = scan.lastRun();
+    } else {
+      core::BatchAnalysis batch(config.engine, batchOptions);
+      std::vector<ContextCache::Lease> leases;
+      leases.reserve(config.seqfiles.size());
+      for (const auto& path : config.seqfiles) {
+        leases.push_back(cache.acquire(path, config, config.fit));
+        names.push_back(fileStem(path));
+        batch.addGene(leases.back().context(), names.back());
+      }
+      tests = batch.runAll();
+      totals = batch.totals();
+      info = batch.lastRun();
     }
-
-    const auto tests = batch.runAll();
     for (const auto& test : tests)
       out.cancelled |= test.h0.cancelled || test.h1.cancelled;
     if (out.cancelled) return out;
 
     std::ostringstream os;
-    if (tests.size() == 1 && config.seqfiles.size() == 1)
+    if (tests.size() == 1 && config.seqfiles.size() == 1 &&
+        config.foreground.empty())
       core::writeJsonTestReport(os, tests.front(), config.engine);
     else
-      core::writeJsonBatchReport(os, tests, names, config.engine,
-                                 batch.totals(), batch.lastRun());
+      core::writeJsonBatchReport(os, tests, names, config.engine, totals,
+                                 info);
     out.report = os.str();
     while (!out.report.empty() && out.report.back() == '\n')
       out.report.pop_back();

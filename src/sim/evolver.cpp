@@ -4,6 +4,7 @@
 
 #include "expm/codon_eigen_system.hpp"
 #include "support/require.hpp"
+#include "tree/branch_classes.hpp"
 
 namespace slim::sim {
 
@@ -30,8 +31,9 @@ SimulatedAlignment evolveMixture(const bio::GeneticCode& gc,
   const int n = gc.numSense();
   SLIM_REQUIRE(static_cast<int>(pi.size()) == n, "pi has wrong length");
   spec.validate(n);
-  SLIM_REQUIRE(spec.branchHomogeneous() || tree.foregroundBranch() >= 0,
-               "branch-heterogeneous mixture requires a foreground mark");
+  SLIM_REQUIRE(spec.branchHomogeneous() || tree::hasMarkedBranch(tree),
+               "branch-heterogeneous mixture requires at least one marked "
+               "branch (#k)");
 
   // Eigensystems per omega class; transition matrices per (branch, omega),
   // built lazily.
@@ -89,8 +91,7 @@ SimulatedAlignment evolveMixture(const bio::GeneticCode& gc,
         state[id] = rng.categorical(pi);
         continue;
       }
-      const int omegaIdx = tree.node(id).mark != 0 ? cls.omegaForeground
-                                                   : cls.omegaBackground;
+      const int omegaIdx = cls.omegaFor(tree.node(id).mark);
       const Matrix& p = transition(id, omegaIdx);
       state[id] = rng.categorical(p.rowSpan(state[tree.node(id).parent]));
     }

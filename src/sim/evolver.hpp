@@ -26,10 +26,12 @@ struct SimulatedAlignment {
 };
 
 /// Evolve numCodons codon sites over the tree under an arbitrary omega-class
-/// mixture (model/site_mixture.hpp).  A foreground mark is only required
-/// when the spec distinguishes foreground from background.  pi are the
-/// equilibrium codon frequencies used both for the root draw and the
-/// substitution model.
+/// mixture (model/site_mixture.hpp).  The tree's integer #k marks are read
+/// as branch classes, so arbitrary branch-class maps (branch model, clade
+/// model C, compound foregrounds) simulate through the same path; at least
+/// one marked branch is required only when the spec is
+/// branch-heterogeneous.  pi are the equilibrium codon frequencies used
+/// both for the root draw and the substitution model.
 SimulatedAlignment evolveMixture(const bio::GeneticCode& gc,
                                  const tree::Tree& tree,
                                  const model::MixtureSpec& spec,

@@ -1,0 +1,136 @@
+#include "tree/branch_classes.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/require.hpp"
+
+namespace slim::tree {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  while (true) {
+    const auto pos = s.find(sep);
+    out.push_back(trim(s.substr(0, pos)));
+    if (pos == std::string_view::npos) break;
+    s.remove_prefix(pos + 1);
+  }
+  return out;
+}
+
+/// A branch named by a leaf/internal label or a numeric node index.
+int resolveBranchToken(const Tree& tree, std::string_view token) {
+  SLIM_REQUIRE(!token.empty(), "foreground: empty branch name");
+  for (int i = 0; i < tree.numNodes(); ++i)
+    if (i != tree.root() && tree.node(i).label == token) return i;
+  const bool numeric = std::all_of(token.begin(), token.end(), [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c));
+  });
+  SLIM_REQUIRE(numeric, "foreground: unknown branch '" +
+                            std::string(token) + "'");
+  // Length bound keeps the digit accumulation below INT_MAX (no signed
+  // overflow on hostile tokens); any real node index fits in 9 digits.
+  SLIM_REQUIRE(token.size() <= 9, "foreground: node index " +
+                                      std::string(token) + " out of range");
+  int id = 0;
+  for (const char c : token) id = id * 10 + (c - '0');
+  SLIM_REQUIRE(id >= 0 && id < tree.numNodes(),
+               "foreground: node index " + std::string(token) +
+                   " out of range");
+  SLIM_REQUIRE(id != tree.root(), "foreground: the root has no branch");
+  return id;
+}
+
+}  // namespace
+
+BranchClassMap BranchClassMap::fromTree(const Tree& tree) {
+  BranchClassMap map;
+  map.classOf.assign(static_cast<std::size_t>(tree.numNodes()), 0);
+  for (int i = 0; i < tree.numNodes(); ++i) {
+    if (i == tree.root()) continue;
+    const int mark = tree.node(i).mark;
+    SLIM_REQUIRE(mark >= 0, "negative branch mark");
+    map.classOf[static_cast<std::size_t>(i)] = mark;
+    map.numClasses = std::max(map.numClasses, mark + 1);
+  }
+  return map;
+}
+
+void BranchClassMap::applyTo(Tree& tree) const {
+  SLIM_REQUIRE(static_cast<int>(classOf.size()) == tree.numNodes(),
+               "branch-class map does not match the tree");
+  for (int i = 0; i < tree.numNodes(); ++i)
+    if (i != tree.root())
+      tree.setMark(i, classOf[static_cast<std::size_t>(i)]);
+}
+
+int numBranchClasses(const Tree& tree) {
+  return BranchClassMap::fromTree(tree).numClasses;
+}
+
+bool hasMarkedBranch(const Tree& tree) {
+  for (int i = 0; i < tree.numNodes(); ++i)
+    if (i != tree.root() && tree.node(i).mark != 0) return true;
+  return false;
+}
+
+Tree withForegroundSet(const Tree& tree, const std::vector<int>& nodes) {
+  SLIM_REQUIRE(!nodes.empty(), "foreground set must not be empty");
+  Tree marked = tree;
+  for (int i = 0; i < marked.numNodes(); ++i)
+    if (i != marked.root()) marked.setMark(i, 0);
+  for (const int id : nodes) {
+    SLIM_REQUIRE(id >= 0 && id < marked.numNodes(),
+                 "foreground node index out of range");
+    SLIM_REQUIRE(id != marked.root(), "the root has no branch to mark");
+    marked.setMark(id, 1);
+  }
+  return marked;
+}
+
+std::vector<BranchSet> everyBranchSets(const Tree& tree) {
+  std::vector<BranchSet> sets;
+  for (const int id : tree.branches()) {
+    BranchSet set;
+    set.name = tree.node(id).label.empty() ? "b" + std::to_string(id)
+                                           : tree.node(id).label;
+    set.nodes = {id};
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+std::vector<BranchSet> resolveBranchSelector(const Tree& tree,
+                                             std::string_view selector) {
+  const std::string_view text = trim(selector);
+  SLIM_REQUIRE(!text.empty(), "foreground: empty selector");
+  if (text == "every-branch") return everyBranchSets(tree);
+
+  std::vector<BranchSet> sets;
+  for (const std::string_view group : split(text, ';')) {
+    SLIM_REQUIRE(!group.empty(), "foreground: empty branch set");
+    BranchSet set;
+    for (const std::string_view token : split(group, ',')) {
+      const int id = resolveBranchToken(tree, token);
+      if (std::find(set.nodes.begin(), set.nodes.end(), id) ==
+          set.nodes.end())
+        set.nodes.push_back(id);
+      if (!set.name.empty()) set.name += '+';
+      set.name += std::string(token);
+    }
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+}  // namespace slim::tree

@@ -1,0 +1,65 @@
+#pragma once
+// Branch classification: the integer #k Newick marks read as a partition of
+// branches into classes 0..B-1 (0 = background).  This generalizes the old
+// single-foreground boolean: branch-site A is the special case B = 2 with
+// exactly one class-1 branch set.
+//
+// Also home of the scan machinery's branch-set vocabulary: a BranchSet
+// names a group of branches marked together as class 1 for one fit of an
+// every-branch (or user-listed compound-set) scan.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace slim::tree {
+
+/// A named group of branches (node indices) marked together as foreground
+/// (class 1) for one scan fit.
+struct BranchSet {
+  std::string name;        ///< Task-name component, e.g. "human" or "b7".
+  std::vector<int> nodes;  ///< Non-root node indices.
+};
+
+/// The branch classification of a tree: classOf[node] = the node's mark,
+/// with the number of classes B = 1 + max mark (>= 1 even when unmarked).
+struct BranchClassMap {
+  std::vector<int> classOf;
+  int numClasses = 1;
+
+  static BranchClassMap fromTree(const Tree& tree);
+
+  /// Write this classification onto `tree` (marks of non-root nodes).
+  /// Throws std::invalid_argument when sizes disagree.
+  void applyTo(Tree& tree) const;
+};
+
+/// 1 + the largest mark on any non-root branch (1 for an unmarked tree).
+int numBranchClasses(const Tree& tree);
+
+/// True when at least one non-root branch carries a nonzero mark.
+bool hasMarkedBranch(const Tree& tree);
+
+/// A copy of `tree` with all marks cleared and every branch in `nodes`
+/// marked as class 1.  Throws on the root or an out-of-range index.
+Tree withForegroundSet(const Tree& tree, const std::vector<int>& nodes);
+
+/// One single-branch BranchSet per non-root branch, in post-order; sets are
+/// named by the node's label when it has one, else "b<node-index>".
+std::vector<BranchSet> everyBranchSets(const Tree& tree);
+
+/// Parse a `foreground =` ctl selector against a tree.  Grammar:
+///   every-branch                     one set per branch
+///   a,b; c                           two sets: {a,b} and {c}
+/// where each member is a leaf label, an internal node's label, or a
+/// numeric node index; members of one set are comma-separated and marked
+/// together (a compound foreground), sets are semicolon-separated and
+/// scanned as independent fits.  Compound sets are named by joining the
+/// member names with '+'.  Throws std::invalid_argument (keyed with the
+/// offending token) on unknown labels, the root, or empty sets.
+std::vector<BranchSet> resolveBranchSelector(const Tree& tree,
+                                             std::string_view selector);
+
+}  // namespace slim::tree

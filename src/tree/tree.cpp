@@ -1,6 +1,7 @@
 #include "tree/tree.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -185,19 +186,30 @@ class NewickParser {
       skipSpace();
       if (!atEnd() && peek() == '#') {
         ++pos_;
-        mark = static_cast<int>(parseNumber());
-        SLIM_REQUIRE(mark >= 0, "newick: mark must be non-negative");
+        // Range-check while still a double: an out-of-int-range (or NaN)
+        // value must be rejected here, not cast (which would be UB).
+        const double m = parseNumber();
+        SLIM_REQUIRE(m >= 0.0 && m <= kMaxMark,
+                     "newick: mark must be an integer in [0, 100000]");
+        mark = static_cast<int>(m);
+        SLIM_REQUIRE(static_cast<double>(mark) == m,
+                     "newick: mark must be an integer in [0, 100000]");
       } else if (!atEnd() && peek() == ':') {
         ++pos_;
         length = parseNumber();
-        SLIM_REQUIRE(length >= 0.0, "newick: negative branch length");
+        SLIM_REQUIRE(length >= 0.0 && std::isfinite(length),
+                     "newick: branch length must be finite and non-negative");
       } else {
         return;
       }
     }
   }
 
-  int parseSubtree(Tree& t, int parent) {
+  int parseSubtree(Tree& t, int parent, int depth = 0) {
+    // The parser recurses once per '(' nesting level; cap it so hostile
+    // input cannot exhaust the stack.  8192 comfortably covers a pure
+    // ladder tree of thousands of taxa.
+    if (depth > kMaxDepth) fail("nesting deeper than 8192 levels");
     skipSpace();
     if (atEnd()) fail("unexpected end of input");
     if (peek() == '(') {
@@ -206,7 +218,7 @@ class NewickParser {
       const int id = t.addNode(parent, "", 0.0, 0);
       int childCount = 0;
       for (;;) {
-        parseSubtree(t, id);
+        parseSubtree(t, id, depth + 1);
         ++childCount;
         skipSpace();
         if (atEnd()) fail("unterminated '('");
@@ -240,6 +252,9 @@ class NewickParser {
     parseSuffixes(length, mark);
     return t.addNode(parent, std::move(name), length, mark);
   }
+
+  static constexpr int kMaxDepth = 8192;
+  static constexpr double kMaxMark = 100000.0;
 
   std::string_view text_;
   std::size_t pos_ = 0;

@@ -7,11 +7,13 @@
 
 #include "bio/genetic_code.hpp"
 #include "core/checkpoint.hpp"
+#include "model/model_spec.hpp"
 #include "seqio/alignment.hpp"
 #include "sim/datasets.hpp"
 #include "sim/evolver.hpp"
 #include "sim/random_tree.hpp"
 #include "support/json.hpp"
+#include "support/require.hpp"
 
 namespace slim::valid {
 
@@ -76,10 +78,30 @@ SimulatedGene simulateGene(const StudySpec& spec, int scenarioIndex,
 
   const auto& gc = bio::GeneticCode::universal();
   const auto pi = sim::randomCodonFrequencies(gc.numSense(), /*alpha=*/5, rng);
-  const auto simulated = sim::evolveBranchSite(
-      gc, tree, scenario.params,
-      scenario.positive ? model::Hypothesis::H1 : model::Hypothesis::H0,
-      spec.numCodons, pi, rng);
+  sim::SimulatedAlignment simulated;
+  if (scenario.modelKind == model::ModelKind::BranchSite) {
+    simulated = sim::evolveBranchSite(
+        gc, tree, scenario.params,
+        scenario.positive ? model::Hypothesis::H1 : model::Hypothesis::H0,
+        spec.numCodons, pi, rng);
+  } else {
+    // Branch / clade-c truth: classOmegas gives one omega per branch class
+    // of the replicate tree (classes {0, 1} — pickForegroundBranch marks
+    // exactly one class-1 branch).
+    SLIM_REQUIRE(!scenario.classOmegas.empty(),
+                 "scenario '" + scenario.name +
+                     "': classOmegas is required for model '" +
+                     model::modelKindName(scenario.modelKind) + "'");
+    const model::MixtureSpec mix =
+        scenario.modelKind == model::ModelKind::Branch
+            ? model::buildBranchModelSpec(gc, pi, scenario.params.kappa,
+                                          scenario.classOmegas)
+            : model::buildCladeCSpec(gc, pi, scenario.params.kappa,
+                                     scenario.params.omega0,
+                                     scenario.params.p0, scenario.params.p1,
+                                     scenario.classOmegas);
+    simulated = sim::evolveMixture(gc, tree, mix, spec.numCodons, pi, rng);
+  }
 
   gene.codons = seqio::encodeCodons(simulated.alignment, gc);
   gene.tree = std::make_shared<const tree::Tree>(std::move(tree));
@@ -102,6 +124,13 @@ std::uint64_t studyConfigHash(const StudySpec& spec) {
     f.real(s.params.omega2);
     f.real(s.params.p0);
     f.real(s.params.p1);
+    // Appended only for non-branch-site scenarios, so every pre-existing
+    // branch-site study hash (and its checkpoints) stays valid.
+    if (s.modelKind != model::ModelKind::BranchSite || !s.classOmegas.empty()) {
+      f.bytes(model::modelKindName(s.modelKind));
+      f.num(s.classOmegas.size());
+      for (const double w : s.classOmegas) f.real(w);
+    }
   }
   const core::FitOptions& fit = spec.fit;
   f.num(static_cast<std::uint64_t>(fit.frequencyModel));
@@ -134,12 +163,21 @@ StudyResult runStudy(const StudySpec& spec) {
     std::uint64_t seed;
   };
   std::vector<GeneLabel> labels;
-  for (int s = 0; s < static_cast<int>(spec.scenarios.size()); ++s)
+  for (int s = 0; s < static_cast<int>(spec.scenarios.size()); ++s) {
+    // Fit each scenario under its own model family; the replicate trees
+    // carry classes {0, 1}, so non-branch-site specs are two-class.
+    core::FitOptions scenarioFit = spec.fit;
+    if (spec.scenarios[s].modelKind != model::ModelKind::BranchSite)
+      scenarioFit.modelSpec =
+          spec.scenarios[s].modelKind == model::ModelKind::Branch
+              ? model::ModelSpec::branch(2)
+              : model::ModelSpec::cladeC(2);
     for (int r = 0; r < spec.replicates; ++r) {
       SimulatedGene gene = simulateGene(spec, s, r);
-      batch.addGene(gene.codons, gene.tree, spec.fit, gene.name);
+      batch.addGene(gene.codons, gene.tree, scenarioFit, gene.name);
       labels.push_back({s, r, replicateSeed(spec.seed, s, r)});
     }
+  }
 
   // --- fit (BatchAnalysis: bit-identical across workers/policies) ---
   result.tests = batch.runAll();

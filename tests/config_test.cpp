@@ -242,9 +242,36 @@ TEST(ConfigParse, ModelSelection) {
   const auto bs = Config::parseString(
       "seqfile = s\ntreefile = t\nmodel = branch-site\n");
   EXPECT_EQ(bs.analysis, AnalysisKind::BranchSite);
+  const auto br = Config::parseString(
+      "seqfile = s\ntreefile = t\nmodel = branch\n");
+  EXPECT_EQ(br.analysis, AnalysisKind::Branch);
+  const auto cc = Config::parseString(
+      "seqfile = s\ntreefile = t\nmodel = clade-c\n");
+  EXPECT_EQ(cc.analysis, AnalysisKind::CladeC);
   EXPECT_THROW(
       Config::parseString("seqfile = s\ntreefile = t\nmodel = M8\n"),
       std::invalid_argument);
+  try {
+    Config::parseString("seqfile = s\ntreefile = t\nmodel = M8\n");
+    FAIL() << "expected keyed error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'clade-c'"), std::string::npos);
+  }
+}
+
+TEST(ConfigParse, ForegroundSelector) {
+  // Default: no scan.
+  EXPECT_TRUE(Config::parseString("seqfile = s\ntreefile = t\n")
+                  .foreground.empty());
+  // Labels / node ids, comma within a set, semicolon between sets, and the
+  // every-branch keyword all pass through verbatim ('#' would open a ctl
+  // comment, so marks are never spelled here).
+  const auto scan = Config::parseString(
+      "seqfile = s\ntreefile = t\nforeground = human,chimp; gorilla\n");
+  EXPECT_EQ(scan.foreground, "human,chimp; gorilla");
+  const auto every = Config::parseString(
+      "seqfile = s\ntreefile = t\nforeground = every-branch\n");
+  EXPECT_EQ(every.foreground, "every-branch");
 }
 
 TEST_F(ConfigRun, SiteModelEndToEnd) {

@@ -14,6 +14,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,8 @@
 #include "core/config.hpp"
 #include "serve/protocol.hpp"
 #include "support/json_parse.hpp"
+#include "tree/branch_classes.hpp"
+#include "tree/tree.hpp"
 
 namespace {
 
@@ -58,6 +61,23 @@ void replay(const std::string& target, Fn parse) {
     const std::string text = readFile(path);
     EXPECT_NO_THROW(parse(text)) << path;
   }
+}
+
+/// Mirrors fuzz/fuzz_tree.cpp: first line is Newick, the rest (optional) a
+/// branch selector resolved against the parsed tree.
+void parseTreeInput(const std::string& text) {
+  std::string_view newick = text;
+  std::string_view selector;
+  if (const auto nl = std::string_view(text).find('\n');
+      nl != std::string_view::npos) {
+    newick = std::string_view(text).substr(0, nl);
+    selector = std::string_view(text).substr(nl + 1);
+  }
+  const slim::tree::Tree tree = slim::tree::Tree::parseNewick(newick);
+  (void)slim::tree::BranchClassMap::fromTree(tree);
+  (void)tree.toNewick();
+  if (!selector.empty())
+    (void)slim::tree::resolveBranchSelector(tree, selector);
 }
 
 }  // namespace
@@ -99,11 +119,21 @@ TEST(FuzzRegression, ProtocolParserKeepsItsContract) {
   });
 }
 
+TEST(FuzzRegression, TreeParserKeepsItsContract) {
+  replay("tree", [](const std::string& text) {
+    try {
+      parseTreeInput(text);
+    } catch (const std::invalid_argument&) {
+    }
+  });
+}
+
 // The seed corpus must also contain *valid* inputs (a corpus of rejects
 // exercises only the error paths): at least one entry per target has to
 // parse cleanly.
 TEST(FuzzRegression, SeedCorpusContainsAcceptingInputs) {
-  int jsonOk = 0, configOk = 0, checkpointOk = 0, protocolOk = 0;
+  int jsonOk = 0, configOk = 0, checkpointOk = 0, protocolOk = 0,
+      treeOk = 0;
   for (const auto& p : inputsFor("json"))
     try {
       (void)slim::support::parseJson(readFile(p));
@@ -129,8 +159,15 @@ TEST(FuzzRegression, SeedCorpusContainsAcceptingInputs) {
     } catch (const slim::serve::ProtocolError&) {
     } catch (const slim::support::JsonError&) {
     }
+  for (const auto& p : inputsFor("tree"))
+    try {
+      parseTreeInput(readFile(p));
+      ++treeOk;
+    } catch (const std::invalid_argument&) {
+    }
   EXPECT_GT(jsonOk, 0);
   EXPECT_GT(configOk, 0);
   EXPECT_GT(checkpointOk, 0);
   EXPECT_GT(protocolOk, 0);
+  EXPECT_GT(treeOk, 0);
 }

@@ -307,13 +307,16 @@ TEST(BranchSiteLikelihoodTest, PropagatorBuildCountsPerEvaluation) {
   EXPECT_EQ(eval.counters().propagatorBuilds, 13);
 }
 
-TEST(BranchSiteLikelihoodTest, RequiresForegroundMark) {
+TEST(BranchSiteLikelihoodTest, RequiresMarkForBranchHeterogeneousMixture) {
+  // Construction no longer demands a mark (branch-homogeneous mixtures —
+  // site models — run on bare trees); evaluating a branch-heterogeneous
+  // mixture like model A on an unmarked tree is the error.
   const Fixture f = makeFixture();
   auto bare = tree::Tree::parseNewick(
       "((a:0.11,b:0.23):0.17,(c:0.31,d:0.13):0.07);");
-  EXPECT_THROW(BranchSiteLikelihood(f.alignment, f.patterns, f.pi, bare,
-                                    Hypothesis::H1, slimOptions()),
-               std::invalid_argument);
+  BranchSiteLikelihood eval(f.alignment, f.patterns, f.pi, bare,
+                            Hypothesis::H1, slimOptions());
+  EXPECT_THROW(eval.logLikelihood(testParams()), std::invalid_argument);
 }
 
 TEST(BranchSiteLikelihoodTest, RejectsLeafMissingFromAlignment) {

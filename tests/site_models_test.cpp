@@ -58,7 +58,7 @@ TEST(MixtureSpec, ModelAIsBranchHeterogeneous) {
   ASSERT_EQ(spec.numOmegas(), 3);
   EXPECT_FALSE(spec.branchHomogeneous());
   // Classes 2a/2b differ between background and foreground.
-  EXPECT_NE(spec.classes[2].omegaBackground, spec.classes[2].omegaForeground);
+  EXPECT_NE(spec.classes[2].omegaBackground(), spec.classes[2].omegaForeground());
 }
 
 TEST(MixtureSpec, ScaleNormalizesWeightedBackgroundRate) {
@@ -68,7 +68,7 @@ TEST(MixtureSpec, ScaleNormalizesWeightedBackgroundRate) {
   linalg::Matrix q(61, 61);
   double weighted = 0;
   for (const auto& c : spec.classes) {
-    model::buildRateMatrix(spec.scaledS[c.omegaBackground], pi, q);
+    model::buildRateMatrix(spec.scaledS[c.omegaBackground()], pi, q);
     weighted += c.proportion * model::expectedRate(q, pi);
   }
   EXPECT_NEAR(weighted, 1.0, 1e-10);
@@ -81,7 +81,7 @@ TEST(MixtureSpec, ValidationCatchesBadSpecs) {
   EXPECT_THROW(spec.validate(61), std::invalid_argument);
 
   auto spec2 = model::buildM1aSpec(gc(), pi, SiteModelParams{});
-  spec2.classes[0].omegaForeground = 7;  // out of range
+  spec2.classes[0].omega = {7};  // out of range
   EXPECT_THROW(spec2.validate(61), std::invalid_argument);
 
   EXPECT_THROW(model::buildM1aSpec(gc(), pi, {2.0, 1.5, 2.0, 0.5, 0.4}),
@@ -163,7 +163,7 @@ TEST(GenericEvaluator, M1aMatchesBruteForce) {
     double fh = 0;
     for (int m = 0; m < spec.numClasses(); ++m) {
       linalg::Matrix q(n, n);
-      model::buildRateMatrix(spec.scaledS[spec.classes[m].omegaBackground],
+      model::buildRateMatrix(spec.scaledS[spec.classes[m].omegaBackground()],
                              f.pi, q);
       std::function<std::vector<double>(int)> partial =
           [&](int node) -> std::vector<double> {

@@ -32,6 +32,13 @@ docs/static-analysis.md):
                        those TUs' source properties in CMakeLists.txt.
                        Anything else risks an illegal instruction on the
                        oldest supported host.
+  include-cycles       The quoted-include graph over src/ headers must be a
+                       DAG.  A cycle (even one hidden behind include guards)
+                       means the layering is broken: whichever header is
+                       parsed first sees an incomplete view of the other,
+                       and whether that compiles depends on include order in
+                       unrelated TUs.  Each cycle is reported once, at the
+                       lexicographically smallest participating header.
 
 Waivers: a finding is suppressed when the offending line, or the line
 directly above it, carries
@@ -283,6 +290,83 @@ def check_file(relpath: str, text: str, findings: list[Finding]) -> None:
                     "TUs (src/linalg/kernels_avx{2,512}.cpp)")
 
 
+QUOTED_INCLUDE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def check_include_cycles(root: str, findings: list[Finding]) -> None:
+    """Build the quoted-include graph over src/ headers and report each
+    back-edge cycle the DFS finds (at least one per strongly connected
+    component, so a cyclic graph always fails; rerun after breaking a cycle
+    to surface any that shared an edge with it).
+    Quoted includes are repo-root-relative, resolved
+    against src/ (the project's sole include directory).  Includes of files
+    that do not exist under src/ (generated headers, system headers spelled
+    with quotes) are ignored — a missing node cannot participate in a
+    cycle."""
+    src = os.path.join(root, "src")
+    graph: dict[str, list[tuple[str, int]]] = {}
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for fn in sorted(filenames):
+            if not fn.endswith((".hpp", ".h")):
+                continue
+            path = os.path.join(dirpath, fn)
+            node = os.path.relpath(path, src).replace(os.sep, "/")
+            edges = []
+            with open(path, encoding="utf-8", errors="replace") as f:
+                for ln, line in enumerate(f, 1):
+                    m = QUOTED_INCLUDE.match(line)
+                    if not m:
+                        continue
+                    target = m.group(1)
+                    if os.path.isfile(os.path.join(src, target)):
+                        edges.append((target, ln))
+            graph[node] = edges
+
+    # Iterative DFS with colors; on hitting a grey node, unwind the stack to
+    # recover the cycle.  Deduplicate by the cycle's canonical rotation so
+    # each loop is reported exactly once regardless of entry point.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph}
+    seen_cycles: set[tuple[str, ...]] = set()
+
+    def dfs(start: str) -> None:
+        stack: list[tuple[str, int]] = [(start, 0)]
+        path: list[str] = [start]
+        color[start] = GREY
+        while stack:
+            node, idx = stack[-1]
+            edges = graph.get(node, [])
+            if idx < len(edges):
+                stack[-1] = (node, idx + 1)
+                target, _ln = edges[idx]
+                if color.get(target, BLACK) == GREY:
+                    cycle = path[path.index(target):]
+                    smallest = min(range(len(cycle)), key=lambda i: cycle[i])
+                    canon = tuple(cycle[smallest:] + cycle[:smallest])
+                    if canon not in seen_cycles:
+                        seen_cycles.add(canon)
+                        head, succ = canon[0], canon[1 % len(canon)]
+                        line = next((l for t, l in graph[head] if t == succ),
+                                    1)
+                        findings.append(Finding(
+                            os.path.join("src", *head.split("/")), line,
+                            "include-cycles",
+                            "header include cycle: "
+                            + " -> ".join(canon + (canon[0],))))
+                elif color.get(target, BLACK) == WHITE:
+                    color[target] = GREY
+                    stack.append((target, 0))
+                    path.append(target)
+            else:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            dfs(node)
+
+
 def check_cmake(relpath: str, text: str, findings: list[Finding]) -> None:
     """Command-aware scan: an ISA flag is fine inside a compiler probe, a
     SLIM_AVX* option-variable definition, or any command that names the
@@ -345,6 +429,7 @@ def main(argv: list[str]) -> int:
             rel = os.path.relpath(path, root)
             with open(path, encoding="utf-8", errors="replace") as f:
                 check_file(rel, f.read(), findings)
+    check_include_cycles(root, findings)
     cmake = os.path.join(root, "CMakeLists.txt")
     if os.path.isfile(cmake):
         with open(cmake, encoding="utf-8", errors="replace") as f:

@@ -24,11 +24,13 @@ namespace {
 
 constexpr const char* kUsage = R"(usage: slimcodeml [--json] [--batch <dir>] [--resume] <control-file>
 
-Fits branch-site model A under H0 and H1, runs the likelihood-ratio test
-for positive selection on the #1-marked foreground branch, and writes a
-report.  Repeating the seqfile line (or --batch) selects the multi-gene
-workflow: every gene's H0/H1 fits are fanned as independent tasks across
-the worker pool, sharing the tree and the propagator cache machinery.
+Fits the selected branch-classification model (branch-site A, the branch
+model or clade model C) under H0 and H1, runs the likelihood-ratio test,
+and writes a report.  Repeating the seqfile line (or --batch) selects the
+multi-gene workflow: every gene's H0/H1 fits are fanned as independent
+tasks across the worker pool, sharing the tree and the propagator cache
+machinery.  `foreground = every-branch` (or a list of branch sets) scans
+each candidate foreground as its own task, named <gene>@<branch-set>.
 
   --json         also emit a structured JSON report: to '<outfile>.json'
                  when outfile names a file, else to stdout after the text
@@ -50,10 +52,13 @@ the same way.
 Control file template:
 
     seqfile  = gene.fasta      * FASTA or sequential PHYLIP; repeat per gene
-    treefile = gene.nwk        * Newick, one branch marked #1 (shared)
+    treefile = gene.nwk        * Newick; #k marks label branch classes
     outfile  = results.txt     * '-' or omitted: stdout
     engine   = slim            * slim | slim-parallel | codeml (baseline)
-    model    = branch-site     * branch-site (H0 vs H1) | site (M1a vs M2a)
+    model    = branch-site     * branch-site | branch | clade-c | site
+    foreground = every-branch  * scan: one fit per branch (or per listed
+                               * set: "human,chimp; mouse"); omit for a
+                               * plain run on the tree's own #k marks
     threads  = 0               * worker threads (0: all cores)
     parallel = auto            * auto | task | pattern (batch fan-out)
     gradient = fd              * fd | fd-parallel | analytic
@@ -150,14 +155,15 @@ int main(int argc, char** argv) {
     if (config.analysis == slim::core::AnalysisKind::Site) {
       if (config.seqfiles.size() > 1 || json) {
         std::cerr << "slimcodeml: error: batch mode and --json support "
-                     "'model = branch-site' only\n";
+                     "'model = branch-site', 'branch' and 'clade-c', not "
+                     "'model = site'\n";
         return 1;
       }
       const auto test = slim::core::runSiteModelFromConfig(config);
       std::cerr << "done: M1a lnL = " << test.m1a.lnL
                 << ", M2a lnL = " << test.m2a.lnL
                 << ", p = " << test.lrt.pChi2 << '\n';
-    } else if (config.seqfiles.size() > 1) {
+    } else if (config.seqfiles.size() > 1 || !config.foreground.empty()) {
       const auto out = slim::core::runBatchFromConfig(config);
       if (json)
         emitJson(config, [&](std::ostream& os) {
